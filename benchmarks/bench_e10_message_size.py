@@ -1,0 +1,22 @@
+"""E10 — Theorem 17's message-size bound O(λ(log κ + log n)).
+
+Paper claim: every protocol message — certificates included — carries at
+most O(λ) authenticated entries of O(log κ + log n) bits.  Measured:
+doubling λ roughly doubles the max message; growing n 4x barely moves it;
+the compiled (real VRF) mode pays a constant-factor χ for group elements.
+"""
+
+from repro.harness.experiments import experiment_e10
+
+
+def bench_e10_message_size(run_experiment):
+    result = run_experiment(experiment_e10, trials=2)
+    data = result.data
+    # Linear in λ: λ 20 -> 40 at n=128 gives ~2x (allow 1.5-3x).
+    ratio = data["fmine_n128_lam40"] / data["fmine_n128_lam20"]
+    assert 1.4 < ratio < 3.2
+    # Nearly flat in n: n 128 -> 512 at λ=20 within 30%.
+    growth = data["fmine_n512_lam20"] / data["fmine_n128_lam20"]
+    assert growth < 1.3
+    # Real crypto mode stays in the same ballpark (χ factor).
+    assert data["vrf_max_bits"] < 20 * data["fmine_n128_lam20"]

@@ -1,0 +1,24 @@
+"""E12 — ablations of the C.2 design choices.
+
+(a) leader difficulty 1/2n, (b) the p=1 collapse onto the quadratic
+warmup, (c) the two-sided λ/2 quorum-threshold envelope.
+"""
+
+from repro.harness.experiments import experiment_e12
+
+
+def bench_e12_design_ablations(run_experiment):
+    result = run_experiment(experiment_e12, trials=4)
+    data = result.data
+    # (b) p = 1 recovers warmup behaviour: consistent, and the multicast
+    # count lands in the warmup's linear regime (not the λ² regime).
+    assert data["p1_consistent"]
+    assert data["p1_multicasts"] > 0.5 * data["warmup_multicasts"]
+    # (c) the threshold envelope is two-sided and monotone.
+    low_corrupt, low_short = data["threshold_0.35λ"]
+    mid_corrupt, mid_short = data["threshold_0.50λ (paper)"]
+    high_corrupt, high_short = data["threshold_0.65λ"]
+    assert low_corrupt > mid_corrupt > high_corrupt
+    assert low_short < mid_short < high_short
+    # The paper's choice keeps BOTH failure modes small simultaneously.
+    assert max(mid_corrupt, mid_short) < min(low_corrupt, high_short)

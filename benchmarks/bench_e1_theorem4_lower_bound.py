@@ -1,0 +1,28 @@
+"""E1 — Theorem 1/4: the strongly adaptive isolation attack.
+
+Paper claim: any BA protocol spending fewer than ``(εf/2)²`` messages is
+breakable by an after-the-fact-removal adversary.  Reproduced shape:
+
+- the subquadratic BB is violated in **every** trial, spending a
+  corruption budget proportional to its speaker count (≪ f);
+- the quadratic BB exhausts the adversary's budget and survives.
+"""
+
+from repro.harness.experiments import experiment_e1
+
+
+def bench_e1_isolation_attack(run_experiment):
+    result = run_experiment(experiment_e1, trials=3)
+    subq = result.data["subquadratic"]
+    quad = result.data["quadratic"]
+    # The paper's dichotomy, asserted.
+    assert subq.violation_rate == 1.0
+    assert subq.mean_corruptions < subq.f / 2
+    assert subq.budget_exhausted_rate == 0.0
+    assert quad.violation_rate == 0.0
+    assert quad.budget_exhausted_rate == 1.0
+    # The proof's events hold live: E[z] under the Markov budget and
+    # Pr[X ∩ Y] above 1 - 2ε.
+    census = result.data["census"]
+    assert census.mean_z < census.markov_budget
+    assert census.event_xy_rate >= census.theorem_bound

@@ -1,0 +1,18 @@
+"""E2 — the Dolev–Reischuk warmup (Section 2).
+
+Paper claim: a deterministic broadcast sending fewer than ``(f/2)²``
+messages is broken by the A/A' adversary pair; message-rich protocols
+leave no starved victim.
+"""
+
+from repro.harness.experiments import experiment_e2
+
+
+def bench_e2_dolev_reischuk(run_experiment):
+    result = run_experiment(experiment_e2)
+    naive = result.data["naive"]
+    strong = result.data["dolev_strong"]
+    assert naive.messages_into_v < naive.message_budget
+    assert naive.attack_feasible and naive.consistency_violated
+    assert strong.messages_into_v > strong.message_budget
+    assert not strong.attack_feasible

@@ -1,0 +1,22 @@
+"""E3 — Theorem 2/17: multicast complexity is independent of n.
+
+Paper claim: the subquadratic protocol multicasts O(λ²) messages whatever
+n is, while the quadratic warmup's multicast count grows linearly in n
+(quadratically in pairwise messages).
+"""
+
+from repro.harness.experiments import experiment_e3
+
+
+def bench_e3_multicast_scaling(run_experiment):
+    result = run_experiment(experiment_e3, trials=3)
+    subq = result.data["subquadratic"]
+    quad = result.data["quadratic"]
+    # Flat for the subquadratic protocol: 16x more nodes, < 2x multicasts.
+    sizes = sorted(subq)
+    assert subq[sizes[-1]] < 2 * subq[sizes[0]] + 10
+    # Linear for the quadratic protocol: 8x more nodes, > 4x multicasts.
+    quad_sizes = sorted(quad)
+    assert quad[quad_sizes[-1]] > 4 * quad[quad_sizes[0]]
+    # Crossover: subquadratic beats quadratic once n exceeds ~2λ.
+    assert subq[512] < quad[128]

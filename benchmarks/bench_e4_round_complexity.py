@@ -1,0 +1,23 @@
+"""E4 — Corollary 16: expected constant rounds.
+
+Paper claim: the iterated BA terminates in expected O(1) iterations
+(per-iteration success probability ≥ 1/2e, Lemma 12), at every network
+size; the phase-king family instead runs a fixed R = ω(log κ) epochs.
+"""
+
+from repro.analysis import mean
+from repro.harness.experiments import experiment_e4
+
+
+def bench_e4_round_complexity(run_experiment):
+    result = run_experiment(experiment_e4, trials=15)
+    # Constant across n: the largest network is not slower than 3x the
+    # smallest (both are O(1) iterations; noise allowed).
+    small = mean(result.data["subq_rounds_n100"])
+    large = mean(result.data["subq_rounds_n400"])
+    assert large < 3 * small + 10
+    # Everyone decides.
+    for n in (100, 200, 400):
+        assert result.data[f"subq_termination_n{n}"] == 1.0
+    # Phase-king runs its full fixed schedule (2R + 1 rounds).
+    assert set(result.data["phase_king_rounds"]) == {25.0}

@@ -1,0 +1,29 @@
+"""E5 — Theorem 17: resilience up to (1/2 − ε)n.
+
+Paper claim: consistency and validity hold for f < (1/2 − ε)n with
+failure probability exp(−Ω(ε²λ)).  At a concrete λ the guarantee is
+perfect well inside the envelope and degrades predictably (per the
+Lemma 11 binomial tails printed in the last column) as f/n approaches
+1/2.
+"""
+
+from repro.harness.experiments import experiment_e5
+
+
+def bench_e5_resilience_sweep(run_experiment):
+    result = run_experiment(experiment_e5, trials=5)
+    # Inside the envelope: perfect score.
+    for fraction in (0.1, 0.2):
+        cell = result.data[f"fraction_{fraction}"]
+        assert cell["consistency"] == 1.0
+        assert cell["validity"] == 1.0
+        assert cell["termination"] == 1.0
+    # Consistency is the harder predicate and holds across the sweep.
+    for fraction in (0.3, 0.4):
+        cell = result.data[f"fraction_{fraction}"]
+        assert cell["consistency"] >= 0.8
+    # The analytical failure envelope is monotone in f.
+    predictions = [result.data[f"fraction_{fr}"]
+                   ["predicted_per_topic_failure"]
+                   for fr in (0.1, 0.2, 0.3, 0.4)]
+    assert predictions == sorted(predictions)

@@ -1,0 +1,16 @@
+"""E6 — Remark 3.3: bit-specific eligibility defeats equivocation.
+
+Paper claim: with round-specific eligibility an adversary can reuse an
+honest ACKer's ticket for the opposite bit in the same round, destroying
+consistency — unless the memory-erasure model (ephemeral keys) is
+assumed.  Bit-specific eligibility needs no erasure at all.
+"""
+
+from repro.harness.experiments import experiment_e6
+
+
+def bench_e6_eligibility_designs(run_experiment):
+    result = run_experiment(experiment_e6, trials=5)
+    assert result.data["round_no_erasure"] <= 0.2  # broken
+    assert result.data["round_erasure"] == 1.0     # saved by erasure
+    assert result.data["bit_specific"] == 1.0      # safe without erasure

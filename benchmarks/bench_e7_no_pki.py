@@ -1,0 +1,20 @@
+"""E7 — Theorem 3: setup assumptions are necessary.
+
+Paper claim: without any setup (plain authenticated channels, random
+oracle allowed), the Q --- 1 --- Q' hypothetical experiment forces a
+contradiction on any sublinear-multicast protocol using only
+C = #(Q' speakers) adaptive corruptions; a PKI breaks the experiment.
+"""
+
+from repro.harness.experiments import experiment_e7
+
+
+def bench_e7_hypothetical_experiment(run_experiment):
+    result = run_experiment(experiment_e7)
+    shared = result.data["shared"]
+    pki = result.data["pki"]
+    assert shared.contradiction
+    assert shared.left_outputs == {0} and shared.right_outputs == {1}
+    assert shared.bridge_rejections == 0
+    assert not pki.contradiction
+    assert pki.bridge_rejections > 0

@@ -1,0 +1,24 @@
+"""E8 — Lemmas 10–12: the stochastic committee bounds, measured.
+
+Paper claims: committees concentrate around λ; the probability of a
+corrupt λ/2-quorum and of an honest λ/2-shortfall follow the binomial
+tails the Chernoff bounds dominate; a unique honest proposer appears with
+probability > 1/2e per iteration.
+"""
+
+from repro.harness.experiments import experiment_e8
+
+
+def bench_e8_stochastic_bounds(run_experiment):
+    result = run_experiment(experiment_e8, samples=400)
+    data = result.data
+    lam = 30
+    assert abs(data["mean_committee"] - lam) < 0.15 * lam
+    # Measured rates track the exact predictions within Monte-Carlo noise.
+    assert abs(data["corrupt_quorum_rate"]
+               - data["corrupt_quorum_pred"]) < 0.08
+    assert abs(data["honest_miss_rate"] - data["honest_miss_pred"]) < 0.08
+    assert abs(data["good_iteration_rate"]
+               - data["good_iteration_pred"]) < 0.08
+    # Lemma 12's bound.
+    assert data["good_iteration_pred"] > 1 / (2 * 2.7182818284)

@@ -1,0 +1,25 @@
+"""Benchmark-suite helpers.
+
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round): the experiments are Monte-Carlo protocol executions whose value is
+the table they print and the claims they assert, not sub-millisecond
+timing stability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Time one run of an experiment and print its table."""
+
+    def runner(experiment, **kwargs):
+        result = benchmark.pedantic(
+            lambda: experiment(**kwargs), rounds=1, iterations=1)
+        with capsys.disabled():
+            print("\n" + result.render())
+        return result
+
+    return runner

@@ -1,0 +1,47 @@
+"""Multicast complexity vs network size (Theorem 2's headline plot).
+
+Sweeps n with λ fixed and prints honest multicast counts for the
+subquadratic protocol (flat), the quadratic warmup (linear in n) and
+Dolev–Strong (linear in n), i.e. the E3 experiment at example scale.
+
+Usage::
+
+    python examples/complexity_scaling.py
+"""
+
+from repro.harness import Table, run_trials
+from repro.protocols import (
+    build_dolev_strong,
+    build_quadratic_ba,
+    build_subquadratic_ba,
+)
+from repro.types import SecurityParameters
+
+
+def main() -> None:
+    params = SecurityParameters(lam=24, epsilon=0.15)
+    table = Table(
+        f"honest multicasts per execution (λ = {params.lam}, 3 seeds)",
+        ["n", "subquadratic-ba", "quadratic-ba", "dolev-strong"],
+    )
+    for n in (32, 64, 128, 256, 512):
+        subq = run_trials(build_subquadratic_ba, f=int(0.3 * n),
+                          seeds=range(3), n=n, inputs=[1] * n, params=params)
+        if n <= 128:
+            quad = run_trials(build_quadratic_ba, f=(n - 1) // 2,
+                              seeds=range(3), n=n, inputs=[1] * n)
+            ds = run_trials(build_dolev_strong, f=(n - 1) // 2,
+                            seeds=range(3), n=n, sender_input=1)
+            quad_cell = round(quad.mean_multicasts, 1)
+            ds_cell = round(ds.mean_multicasts, 1)
+        else:
+            quad_cell = ds_cell = "(skipped)"
+        table.add_row(n, round(subq.mean_multicasts, 1), quad_cell, ds_cell)
+    print(table.render())
+    print()
+    print("The subquadratic column is O(λ²), independent of n — only a")
+    print("polylogarithmic number of nodes ever speak (Theorem 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""What Definition 7 costs in a real gossip deployment.
+
+The paper motivates the multicast model by peer-to-peer deployments where
+a "multicast" is an epidemic gossip broadcast.  This example (1) checks
+the abstraction — a push-gossip broadcast covers the whole network in
+O(log n) hops — and (2) translates the Theorem 2 protocol's multicast
+complexity into the point-to-point transmissions a deployment would pay,
+next to the quadratic baseline.
+
+Usage::
+
+    python examples/gossip_deployment_cost.py
+"""
+
+from repro.harness import Table, run_trials
+from repro.protocols import build_quadratic_ba, build_subquadratic_ba
+from repro.sim.gossip import expected_hops, simulate_push_gossip
+from repro.types import SecurityParameters
+
+
+def main() -> None:
+    table = Table("push gossip (fanout 6): hops to full coverage",
+                  ["n", "hops", "~log2(n)+ln(n)", "relays"])
+    for n in (128, 512, 2048, 8192):
+        outcome = simulate_push_gossip(n=n, fanout=6, seed=1)
+        table.add_row(n, outcome.hops, round(expected_hops(n), 1),
+                      outcome.relays)
+    print(table.render())
+    print()
+
+    params = SecurityParameters(lam=24, epsilon=0.15)
+    cost = Table("deployment cost of one BA (gossip relays ~ 1.5n per "
+                 "multicast)",
+                 ["protocol", "n", "multicasts", "gossip relays"])
+    for n in (64, 128):
+        subq = run_trials(build_subquadratic_ba, f=int(0.3 * n),
+                          seeds=range(3), n=n, inputs=[1] * n, params=params)
+        quad = run_trials(build_quadratic_ba, f=(n - 1) // 2,
+                          seeds=range(3), n=n, inputs=[1] * n)
+        cost.add_row("subquadratic-ba", n, round(subq.mean_multicasts, 1),
+                     round(subq.mean_multicasts * 1.5 * n))
+        cost.add_row("quadratic-ba", n, round(quad.mean_multicasts, 1),
+                     round(quad.mean_multicasts * 1.5 * n))
+    print(cost.render())
+    print()
+    print("Charging per multicast (Definition 7) matches deployment cost")
+    print("up to a protocol-independent O(n) relay factor — so the paper's")
+    print("polylog multicast complexity is the right figure of merit.")
+
+
+if __name__ == "__main__":
+    main()

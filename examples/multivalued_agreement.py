@@ -1,0 +1,45 @@
+"""Extension: agreement on 8-bit values via parallel binary BA.
+
+Composes eight domain-separated instances of the paper's binary protocol
+into agreement on byte values — consistency and validity lift bit-wise,
+and the multicast complexity stays independent of n (just ×8).
+
+Usage::
+
+    python examples/multivalued_agreement.py
+"""
+
+from repro.harness import run_instance
+from repro.protocols.multivalued import build_multivalued_ba
+from repro.types import SecurityParameters
+
+
+def main() -> None:
+    n, f, seed = 200, 60, 11
+    params = SecurityParameters(lam=24, epsilon=0.1)
+
+    print(f"multi-valued BA: n={n}, f={f}, 8-bit values\n")
+
+    instance = build_multivalued_ba(n, f, [0xC3] * n, width=8,
+                                    seed=seed, params=params)
+    result = run_instance(instance, f, seed=seed)
+    print("unanimous input 0xC3:")
+    print(f"  output:     {hex(result.honest_outputs[0])} "
+          f"(valid: {set(result.honest_outputs) == {0xC3}})")
+    print(f"  rounds:     {result.rounds_executed}")
+    print(f"  multicasts: {result.metrics.multicast_complexity_messages} "
+          f"(~8x the binary protocol, still independent of n)\n")
+
+    values = [(i * 37) % 256 for i in range(n)]
+    instance = build_multivalued_ba(n, f, values, width=8,
+                                    seed=seed, params=params)
+    result = run_instance(instance, f, seed=seed)
+    outputs = {hex(v) for v in result.honest_outputs}
+    print("mixed inputs:")
+    print(f"  consistent: {result.consistent()} (all output {outputs})")
+    print(f"  rounds:     {result.rounds_executed} "
+          f"(max of 8 geometric tails — still O(log width) expected)")
+
+
+if __name__ == "__main__":
+    main()

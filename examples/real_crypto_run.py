@@ -1,0 +1,57 @@
+"""The Appendix D compiled world, end to end with real cryptography.
+
+Runs the subquadratic BA with genuine VRF eligibility: each node's public
+key is a perfectly-binding ElGamal commitment to its PRF key; each
+conditional multicast carries the DDH-PRF evaluation plus a Fiat–Shamir
+sigma proof that the evaluation matches the committed key (the paper's NP
+language L); every recipient verifies every ticket.
+
+Usage::
+
+    python examples/real_crypto_run.py
+"""
+
+import time
+
+from repro.crypto.vrf import VrfKeyPair, verify_vrf
+from repro.crypto.groups import TEST_GROUP
+from repro.harness import run_instance
+from repro.protocols import build_subquadratic_ba
+from repro.rng import derive_rng
+from repro.types import SecurityParameters
+
+
+def main() -> None:
+    # A single VRF evaluation, dissected.
+    rng = derive_rng(0, "demo")
+    keypair = VrfKeyPair.generate(TEST_GROUP, rng)
+    topic = ("Vote", 1, 1)
+    output = keypair.evaluate(topic, rng)
+    print("one VRF evaluation on topic ('Vote', 1, 1):")
+    print(f"  beta (pseudorandom, 256-bit): {output.beta:#066x}"[:70])
+    print(f"  verifies against public key:  "
+          f"{verify_vrf(TEST_GROUP, keypair.public, topic, output)}")
+    print(f"  verifies on the other bit:    "
+          f"{verify_vrf(TEST_GROUP, keypair.public, ('Vote', 1, 0), output)}")
+    print()
+
+    # A full protocol execution in vrf mode.
+    n, f = 32, 9
+    params = SecurityParameters(lam=12, epsilon=0.1)
+    inputs = [i % 2 for i in range(n)]
+    print(f"subquadratic BA, compiled mode: n={n}, f={f}, lambda={params.lam}")
+    start = time.time()
+    instance = build_subquadratic_ba(n, f, inputs, seed=4, params=params,
+                                     mode="vrf")
+    result = run_instance(instance, f, seed=4)
+    elapsed = time.time() - start
+    print(f"  consistent:  {result.consistent()}")
+    print(f"  decided:     {result.all_decided()} "
+          f"in {result.rounds_executed} rounds")
+    print(f"  multicasts:  {result.metrics.multicast_complexity_messages}")
+    print(f"  wall clock:  {elapsed:.2f}s "
+          f"(every ticket individually proven and verified)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+All metadata lives in setup.cfg; this shim exists so that offline
+environments (no PEP 517 build isolation) can install the package via the
+legacy setuptools path: ``pip install -e .`` or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Attack strategies.
+
+Every lower bound and every security claim in the paper corresponds to an
+executable adversary here:
+
+- :mod:`repro.adversaries.crash` — corrupt-and-silence (liveness floor).
+- :mod:`repro.adversaries.static_byzantine` — static equivocation: corrupt
+  nodes vote/ACK both bits every round (the Lemma 11 stress test).
+- :mod:`repro.adversaries.adaptive_speaker` — corrupts nodes the moment
+  they are observed multicasting (the "corrupt whoever speaks" strategy
+  that bit-specific eligibility is designed to survive).
+- :mod:`repro.adversaries.adaptive_committee` — corrupts the publicly
+  announced CRS committee and splits its output (breaks the Section 1
+  static-committee construction).
+- :mod:`repro.adversaries.equivocation` — the Remark-3.3 attack on
+  round-specific eligibility: corrupt an ACKer, reuse its round ticket to
+  ACK the opposite bit in the same round.
+- :mod:`repro.adversaries.strongly_adaptive` — the Theorem 4 adversary:
+  after-the-fact removal used to isolate a victim from all traffic while
+  the corrupted senders keep behaving honestly towards everyone else.
+- :mod:`repro.adversaries.leader_killer` — corrupts each announced oracle
+  leader before it proposes (round-complexity degradation, not safety).
+"""
+
+from repro.adversaries.sandbox import SandboxRunner
+from repro.adversaries.crash import CrashAdversary
+from repro.adversaries.static_byzantine import StaticEquivocationAdversary
+from repro.adversaries.adaptive_speaker import AdaptiveSpeakerAdversary
+from repro.adversaries.adaptive_committee import CommitteeTakeoverAdversary
+from repro.adversaries.equivocation import AckEquivocationAdversary
+from repro.adversaries.strongly_adaptive import IsolationAdversary
+from repro.adversaries.leader_killer import LeaderKillerAdversary
+from repro.adversaries.view_split import ViewSplitAdversary
+
+__all__ = [
+    "SandboxRunner",
+    "CrashAdversary",
+    "StaticEquivocationAdversary",
+    "AdaptiveSpeakerAdversary",
+    "CommitteeTakeoverAdversary",
+    "AckEquivocationAdversary",
+    "IsolationAdversary",
+    "LeaderKillerAdversary",
+    "ViewSplitAdversary",
+]

@@ -1,0 +1,36 @@
+"""Crash-style adversary: corrupt a fixed set and silence it forever.
+
+The mildest Byzantine behaviour — useful as a liveness floor: Lemma 11's
+"(ii)" clause is exactly about enough honest committee members surviving
+when up to ``(1/2 - ε) n`` nodes contribute nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.sim.adversary import Adversary
+from repro.sim.network import Envelope
+from repro.types import NodeId, Round
+
+
+class CrashAdversary(Adversary):
+    """Statically corrupts ``victims`` (default: the last ``f`` nodes) and
+    never sends anything on their behalf."""
+
+    name = "crash"
+
+    def __init__(self, victims: Optional[Sequence[NodeId]] = None) -> None:
+        super().__init__()
+        self.victims = list(victims) if victims is not None else None
+
+    def on_setup(self) -> None:
+        api = self.api
+        victims: List[NodeId] = (
+            self.victims if self.victims is not None
+            else list(range(api.n - api.corruption_budget, api.n)))
+        for node_id in victims[:api.corruption_budget]:
+            api.corrupt(node_id)
+
+    def react(self, round_index: Round, staged: List[Envelope]) -> None:
+        return None

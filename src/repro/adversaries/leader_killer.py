@@ -1,0 +1,66 @@
+"""Corrupt every announced leader before it proposes.
+
+The oracle-based warmups announce the epoch leader publicly, so an
+adaptive adversary can assassinate each leader at the start of its
+iteration, stalling progress until the corruption budget runs dry —
+expected round complexity degrades from O(1) to Θ(f) while safety is
+untouched.  The VRF-compiled protocols are immune: nobody knows who the
+proposers are until their proposals are already multicast.  Experiment E4
+reports both columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.protocols.aba import PHASE_PROPOSE, schedule
+from repro.protocols.base import ProtocolInstance
+from repro.sim.adversary import Adversary
+from repro.sim.leader import LeaderOracle
+from repro.sim.network import Delivery, Envelope
+from repro.types import NodeId, Round
+
+
+class LeaderKillerAdversary(Adversary):
+    """Corrupts (and silences) each oracle-announced leader."""
+
+    name = "leader-killer"
+
+    def __init__(self, instance: ProtocolInstance,
+                 family: str = "aba") -> None:
+        super().__init__()
+        oracle = instance.services.get("oracle")
+        if not isinstance(oracle, LeaderOracle):
+            raise ConfigurationError(
+                "leader-killer needs an announced leader oracle")
+        self.oracle = oracle
+        if family not in ("aba", "phase-king"):
+            raise ConfigurationError(f"unknown family {family!r}")
+        self.family = family
+        self.killed: List[NodeId] = []
+
+    def _epoch_starting_at(self, round_index: Round) -> Optional[int]:
+        """The iteration whose proposal happens in this round, if any."""
+        if self.family == "phase-king":
+            epoch, is_ack_round = divmod(round_index, 2)
+            return epoch if not is_ack_round else None
+        iteration, phase = schedule(round_index)
+        return iteration if phase == PHASE_PROPOSE else None
+
+    def observe_deliveries(self, round_index: Round,
+                           inboxes: Dict[NodeId, List[Delivery]]) -> None:
+        # Strike before the honest step: the leader of an iteration whose
+        # proposal round begins now is corrupted before it can speak.
+        epoch = self._epoch_starting_at(round_index)
+        if epoch is None:
+            return
+        api = self.api
+        leader = self.oracle.leader(epoch)
+        if api.is_corrupt(leader) or api.corruptions_remaining <= 0:
+            return
+        api.corrupt(leader)
+        self.killed.append(leader)
+
+    def react(self, round_index: Round, staged: List[Envelope]) -> None:
+        return None

@@ -1,0 +1,118 @@
+"""View-splitting attack: conflicting messages to different halves.
+
+The subtlest adversary in the zoo.  Where
+:class:`~repro.adversaries.static_byzantine.StaticEquivocationAdversary`
+multicasts its equivocations (so every honest node sees the same mess),
+this one *unicasts* different proposals and votes to different halves of
+the network, driving honest nodes into divergent certificate views:
+
+- even-id honest nodes see corrupt proposals/votes for bit 0,
+- odd-id honest nodes see corrupt proposals/votes for bit 1,
+
+so equal-rank certificates for opposite bits can arise in the same
+iteration — precisely the situation the Vote rule's tie-break clause
+("an equal-rank certificate for the other bit does not block", C.1) must
+handle.  Safety must survive arbitrarily long view splits via quorum
+intersection; liveness recovers at the next iteration with a unique
+honest proposer (Lemma 12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.protocols.aba import PHASE_PROPOSE, PHASE_VOTE, schedule
+from repro.protocols.base import ProtocolInstance
+from repro.protocols.broadcast import BroadcastNode
+from repro.protocols.messages import ProposeMsg, VoteMsg
+from repro.sim.adversary import Adversary
+from repro.sim.network import Envelope
+from repro.types import Bit, NodeId, Round
+
+
+class ViewSplitAdversary(Adversary):
+    """Static corruption; per-half conflicting proposals and votes."""
+
+    name = "view-split"
+
+    def __init__(self, instance: ProtocolInstance,
+                 victims: Optional[Sequence[NodeId]] = None) -> None:
+        super().__init__()
+        services = instance.services
+        if "config" not in services:
+            raise ConfigurationError(
+                "view-split attack needs the protocol config in services")
+        self.config = services["config"]
+        if not hasattr(self.config, "proposer"):
+            raise ConfigurationError(
+                "view-split attack targets the iterated-BA family")
+        self.round_offset = (
+            1 if isinstance(instance.nodes[0], BroadcastNode) else 0)
+        self.victims = list(victims) if victims is not None else None
+        self.corrupted: List[NodeId] = []
+        # iteration -> bit -> proposal usable to justify votes.
+        self._proposals: Dict[int, Dict[Bit, ProposeMsg]] = {}
+
+    def on_setup(self) -> None:
+        api = self.api
+        victims = (self.victims if self.victims is not None
+                   else list(range(api.n - api.corruption_budget, api.n)))
+        for node_id in victims[:api.corruption_budget]:
+            api.corrupt(node_id)
+            self.corrupted.append(node_id)
+
+    def _half(self, bit: Bit) -> List[NodeId]:
+        """The half of the (non-corrupt) network that is fed ``bit``."""
+        api = self.api
+        return [node for node in range(api.n)
+                if node % 2 == bit and not api.is_corrupt(node)]
+
+    def _note_honest_proposals(self, staged: List[Envelope]) -> None:
+        for envelope in staged:
+            payload = envelope.payload
+            if isinstance(payload, ProposeMsg):
+                self._proposals.setdefault(
+                    payload.iteration, {}).setdefault(payload.bit, payload)
+
+    def react(self, round_index: Round, staged: List[Envelope]) -> None:
+        protocol_round = round_index - self.round_offset
+        if protocol_round < 0:
+            return
+        self._note_honest_proposals(staged)
+        iteration, phase = schedule(protocol_round)
+        if phase == PHASE_PROPOSE:
+            self._split_proposals(iteration)
+        elif phase == PHASE_VOTE:
+            self._split_votes(iteration)
+
+    def _split_proposals(self, iteration: int) -> None:
+        for node_id in self.corrupted:
+            for bit in (0, 1):
+                auth = self.config.proposer.attempt(node_id, iteration, bit)
+                if auth is None:
+                    continue
+                proposal = ProposeMsg(iteration=iteration, bit=bit,
+                                      certificate=None, sender=node_id,
+                                      auth=auth)
+                self._proposals.setdefault(
+                    iteration, {}).setdefault(bit, proposal)
+                for target in self._half(bit):
+                    self.api.inject(node_id, target, proposal)
+
+    def _split_votes(self, iteration: int) -> None:
+        authenticator = self.config.authenticator
+        for node_id in self.corrupted:
+            for bit in (0, 1):
+                proposal = self._proposals.get(iteration, {}).get(bit)
+                if iteration > 1 and proposal is None:
+                    continue
+                auth = authenticator.attempt(node_id,
+                                             ("Vote", iteration, bit))
+                if auth is None:
+                    continue
+                vote = VoteMsg(iteration=iteration, bit=bit,
+                               sender=node_id, auth=auth,
+                               proposal=proposal if iteration > 1 else None)
+                for target in self._half(bit):
+                    self.api.inject(node_id, target, vote)

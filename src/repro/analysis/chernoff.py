@@ -1,0 +1,69 @@
+"""Tail bounds for the committee-sampling analyses (Appendix C.3).
+
+The paper's lemmas bound bad events of the form "too many corrupt nodes
+were eligible" / "too few honest nodes were eligible" by Chernoff bounds
+on sums of independent Bernoulli(λ/n) coins.  This module provides both
+the classical multiplicative Chernoff bounds (the form the lemmas quote)
+and exact binomial tails (what the Monte-Carlo experiments are compared
+against).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def chernoff_upper_tail(mu: float, delta: float) -> float:
+    """``P[X >= (1+δ)μ] <= exp(-δ²μ / (2+δ))`` for δ > 0."""
+    if mu < 0 or delta < 0:
+        raise ValueError("mu and delta must be non-negative")
+    if mu == 0 or delta == 0:
+        return 1.0
+    return math.exp(-(delta * delta) * mu / (2 + delta))
+
+
+def chernoff_lower_tail(mu: float, delta: float) -> float:
+    """``P[X <= (1-δ)μ] <= exp(-δ²μ / 2)`` for 0 < δ < 1."""
+    if mu < 0:
+        raise ValueError("mu must be non-negative")
+    if not 0 <= delta <= 1:
+        raise ValueError("delta must lie in [0, 1]")
+    if mu == 0 or delta == 0:
+        return 1.0
+    return math.exp(-(delta * delta) * mu / 2)
+
+
+def _log_binom_pmf(k: int, trials: int, probability: float) -> float:
+    return (math.lgamma(trials + 1) - math.lgamma(k + 1)
+            - math.lgamma(trials - k + 1)
+            + k * math.log(probability)
+            + (trials - k) * math.log1p(-probability))
+
+
+def binomial_tail_ge(k: int, trials: int, probability: float) -> float:
+    """Exact ``P[Bin(trials, probability) >= k]``."""
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    if not 0 <= probability <= 1:
+        raise ValueError("probability must lie in [0, 1]")
+    if k <= 0:
+        return 1.0
+    if k > trials:
+        return 0.0
+    if probability == 0.0:
+        return 0.0
+    if probability == 1.0:
+        return 1.0
+    total = 0.0
+    for value in range(k, trials + 1):
+        total += math.exp(_log_binom_pmf(value, trials, probability))
+    return min(1.0, total)
+
+
+def binomial_tail_le(k: int, trials: int, probability: float) -> float:
+    """Exact ``P[Bin(trials, probability) <= k]``."""
+    if k < 0:
+        return 0.0
+    if k >= trials:
+        return 1.0
+    return 1.0 - binomial_tail_ge(k + 1, trials, probability)

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment`` — run one of the E1..E12 experiment tables::
+
+    python -m repro experiment E3
+
+``run`` — execute one protocol instance and print its result summary::
+
+    python -m repro run --protocol subquadratic -n 300 -f 90 \\
+        --adversary crash --input mixed --seed 7
+
+``params`` — concrete parameter selection (the λ = ω(log κ) inversion)::
+
+    python -m repro params -n 2000 --corrupt 0.3 --target 1e-9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.adversaries import (
+    AdaptiveSpeakerAdversary,
+    CrashAdversary,
+    StaticEquivocationAdversary,
+)
+from repro.analysis import choose_lambda
+from repro.analysis.parameters import protocol_failure_probability
+from repro.harness import run_instance
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.protocols import (
+    build_phase_king,
+    build_phase_king_subquadratic,
+    build_quadratic_ba,
+    build_static_committee,
+    build_subquadratic_ba,
+)
+from repro.sim.trace import summarize_transcript
+from repro.types import SecurityParameters
+
+PROTOCOLS = {
+    "subquadratic": build_subquadratic_ba,
+    "quadratic": build_quadratic_ba,
+    "phase-king": build_phase_king,
+    "phase-king-subquadratic": build_phase_king_subquadratic,
+    "static-committee": build_static_committee,
+}
+
+ADVERSARIES = {
+    "none": lambda instance: None,
+    "crash": lambda instance: CrashAdversary(),
+    "equivocate": StaticEquivocationAdversary,
+    "speaker": AdaptiveSpeakerAdversary,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Communication Complexity of "
+                    "Byzantine Agreement, Revisited' (PODC 2019)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run an experiment table")
+    exp.add_argument("name", choices=sorted(ALL_EXPERIMENTS),
+                     help="experiment id (E1..E12)")
+
+    run = sub.add_parser("run", help="run one protocol execution")
+    run.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                     default="subquadratic")
+    run.add_argument("-n", type=int, default=200, help="number of nodes")
+    run.add_argument("-f", type=int, default=None,
+                     help="corruption budget (default: 0.25n)")
+    run.add_argument("--adversary", choices=sorted(ADVERSARIES),
+                     default="none")
+    run.add_argument("--input", choices=["zeros", "ones", "mixed"],
+                     default="mixed")
+    run.add_argument("--lam", type=int, default=30,
+                     help="expected committee size λ")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--mode", choices=["fmine", "vrf"], default="fmine")
+
+    par = sub.add_parser("params", help="choose λ for a target error")
+    par.add_argument("-n", type=int, required=True)
+    par.add_argument("--corrupt", type=float, default=0.3,
+                     help="corrupt fraction (0..0.5)")
+    par.add_argument("--target", type=float, default=1e-9,
+                     help="target failure probability")
+    par.add_argument("--iterations", type=int, default=40)
+    return parser
+
+
+def _inputs_for(kind: str, n: int) -> List[int]:
+    if kind == "zeros":
+        return [0] * n
+    if kind == "ones":
+        return [1] * n
+    return [i % 2 for i in range(n)]
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = ALL_EXPERIMENTS[args.name]()
+    print(result.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    n = args.n
+    f = args.f if args.f is not None else int(0.25 * n)
+    params = SecurityParameters(lam=args.lam, epsilon=0.1)
+    builder = PROTOCOLS[args.protocol]
+    kwargs = dict(n=n, f=f, inputs=_inputs_for(args.input, n), seed=args.seed)
+    if args.protocol in ("subquadratic", "phase-king-subquadratic"):
+        kwargs.update(params=params, mode=args.mode)
+    instance = builder(**kwargs)
+    adversary = ADVERSARIES[args.adversary](instance)
+    result = run_instance(instance, f, adversary, seed=args.seed)
+    trace = summarize_transcript(result.transcript)
+    print(f"protocol:            {instance.name}")
+    print(f"n / f:               {n} / {f}  (adversary: {args.adversary})")
+    print(f"consistent:          {result.consistent()}")
+    print(f"valid:               {result.agreement_valid()}")
+    print(f"all decided:         {result.all_decided()}")
+    print(f"rounds:              {result.rounds_executed}")
+    print(f"corruptions used:    {result.corruptions_used}")
+    print(f"honest multicasts:   "
+          f"{result.metrics.multicast_complexity_messages}")
+    print(f"distinct speakers:   {trace.speaker_count}")
+    print(f"multicast bits:      {result.metrics.multicast_complexity_bits}")
+    print(f"classical messages:  {result.metrics.classical_message_count}")
+    violated = not (result.consistent() and result.agreement_valid())
+    return 1 if violated else 0
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    lam = choose_lambda(args.n, args.corrupt, args.target,
+                        iterations=args.iterations)
+    failure = protocol_failure_probability(
+        args.n, int(args.corrupt * args.n), lam, args.iterations)
+    print(f"n:                  {args.n}")
+    print(f"corrupt fraction:   {args.corrupt}")
+    print(f"target error:       {args.target}")
+    print(f"chosen λ:           {lam}")
+    print(f"committee quorum:   {(lam + 1) // 2}")
+    print(f"predicted failure:  {failure:.3g}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "params":
+        return _cmd_params(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Forward-secure signatures (the "ephemeral keys" of Chen–Micali).
+
+Footnote 5 of the paper: *"in a forward secure signing scheme, in the
+beginning the node has a key that can sign any slot numbered 0 or higher;
+after signing a message for slot t, the node can update its key to one that
+can henceforth sign only slots t + 1 or higher, and the old key is
+erased."*  The round-specific-eligibility baseline
+(:mod:`repro.protocols.round_eligibility`) uses this scheme to model the
+**memory-erasure** defence: an adversary corrupting a node immediately
+after it votes learns only the *evolved* key and cannot cast a second vote
+for the same round.
+
+Construction: one Schnorr keypair per epoch, authenticated by a Merkle tree
+whose root is the long-term public key.  ``evolve(t)`` deletes every secret
+key for epochs ``< t``; deletion is what makes the scheme forward secure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.groups import SchnorrGroup
+from repro.crypto.hashing import hash_bytes, hash_objects
+from repro.crypto.schnorr import SchnorrKeyPair, SchnorrSignature, sign as schnorr_sign
+from repro.crypto.schnorr import verify as schnorr_verify
+from repro.errors import SignatureError
+
+
+def _merkle_parent(left: bytes, right: bytes) -> bytes:
+    return hash_bytes("fs-merkle", left, right)
+
+
+def _build_merkle_layers(leaves: list[bytes]) -> list[list[bytes]]:
+    """All layers bottom-up; the final layer is the single root."""
+    layers = [list(leaves)]
+    while len(layers[-1]) > 1:
+        level = layers[-1]
+        if len(level) % 2 == 1:
+            level = level + [level[-1]]
+        layers.append([
+            _merkle_parent(level[i], level[i + 1])
+            for i in range(0, len(level), 2)
+        ])
+    return layers
+
+
+@dataclass(frozen=True)
+class ForwardSecureSignature:
+    """A per-epoch signature plus the Merkle authentication of its key."""
+
+    epoch: int
+    epoch_public: int
+    merkle_path: tuple[bytes, ...]
+    signature: SchnorrSignature
+
+
+class ForwardSecureKeyPair:
+    """Holder of the evolving secret state; ``public_root`` is the PK."""
+
+    def __init__(self, group: SchnorrGroup, max_epochs: int,
+                 rng: random.Random) -> None:
+        if max_epochs < 1:
+            raise ValueError("max_epochs must be positive")
+        self.group = group
+        self.max_epochs = max_epochs
+        self._epoch_keys: dict[int, SchnorrKeyPair] = {
+            epoch: SchnorrKeyPair.generate(group, rng)
+            for epoch in range(max_epochs)
+        }
+        leaves = [
+            hash_objects("fs-leaf", epoch, self._epoch_keys[epoch].public)
+            for epoch in range(max_epochs)
+        ]
+        self._layers = _build_merkle_layers(leaves)
+        self.public_root: bytes = self._layers[-1][0]
+        self.current_epoch = 0
+
+    def _merkle_path(self, index: int) -> tuple[bytes, ...]:
+        path = []
+        for layer in self._layers[:-1]:
+            padded = layer if len(layer) % 2 == 0 else layer + [layer[-1]]
+            sibling = index ^ 1
+            path.append(padded[sibling])
+            index //= 2
+        return tuple(path)
+
+    def sign(self, epoch: int, message: Any,
+             rng: random.Random) -> ForwardSecureSignature:
+        """Sign for ``epoch``; fails if that epoch's key was erased."""
+        if not 0 <= epoch < self.max_epochs:
+            raise SignatureError(f"epoch {epoch} out of range")
+        if epoch < self.current_epoch:
+            raise SignatureError(
+                f"key for epoch {epoch} was erased (current epoch "
+                f"{self.current_epoch})")
+        keypair = self._epoch_keys[epoch]
+        signature = schnorr_sign(keypair, ("fs", epoch, message), rng)
+        return ForwardSecureSignature(
+            epoch=epoch,
+            epoch_public=keypair.public,
+            merkle_path=self._merkle_path(epoch),
+            signature=signature,
+        )
+
+    def evolve(self, to_epoch: int) -> None:
+        """Erase every secret key for epochs below ``to_epoch``.
+
+        This is the *memory erasure* step: after evolving past epoch t, not
+        even the key holder (nor an adversary corrupting it) can sign for
+        epoch t again.
+        """
+        if to_epoch < self.current_epoch:
+            raise ValueError("cannot evolve backwards")
+        for epoch in range(self.current_epoch, min(to_epoch, self.max_epochs)):
+            self._epoch_keys.pop(epoch, None)
+        self.current_epoch = to_epoch
+
+    def reveal_state(self) -> dict[int, SchnorrKeyPair]:
+        """What an adversary learns upon corruption: the surviving keys."""
+        return dict(self._epoch_keys)
+
+    def can_sign(self, epoch: int) -> bool:
+        return epoch in self._epoch_keys
+
+
+def verify_forward_secure(group: SchnorrGroup, public_root: bytes,
+                          max_epochs: int, message: Any,
+                          signature: ForwardSecureSignature) -> bool:
+    """Verify a forward-secure signature; never raises."""
+    if not 0 <= signature.epoch < max_epochs:
+        return False
+    node = hash_objects("fs-leaf", signature.epoch, signature.epoch_public)
+    index = signature.epoch
+    for sibling in signature.merkle_path:
+        if index % 2 == 0:
+            node = _merkle_parent(node, sibling)
+        else:
+            node = _merkle_parent(sibling, node)
+        index //= 2
+    if node != public_root:
+        return False
+    return schnorr_verify(group, signature.epoch_public,
+                          ("fs", signature.epoch, message),
+                          signature.signature)

@@ -1,0 +1,72 @@
+"""Pseudorandom functions.
+
+Two PRFs are provided:
+
+- :class:`HmacPrf` — HMAC-SHA256.  Used wherever the library needs generic
+  keyed pseudorandomness (e.g. deriving per-node seeds).
+- :class:`DdhPrf` — the "exponentiation" PRF ``PRF_k(m) = H1(m)^k`` over a
+  DDH-hard group (Naor–Pinkas–Reingold style).  This is the PRF the
+  Appendix D compiler commits to and proves statements about: the VRF of
+  :mod:`repro.crypto.vrf` publishes a perfectly-binding commitment to ``k``
+  and proves, per message, that the evaluation is consistent with the
+  committed key — exactly the paper's NP language L (Appendix D.3) with
+  PRF := DdhPrf.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Any
+
+from repro.crypto.groups import SchnorrGroup
+from repro.serialization import canonical_bytes
+
+
+class HmacPrf:
+    """HMAC-SHA256 as a PRF keyed by arbitrary bytes."""
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("PRF key must be non-empty")
+        self._key = key
+
+    def evaluate(self, message: bytes) -> bytes:
+        return hmac.new(self._key, message, hashlib.sha256).digest()
+
+    def evaluate_object(self, obj: Any) -> bytes:
+        return self.evaluate(canonical_bytes(obj))
+
+    def evaluate_int(self, obj: Any) -> int:
+        """Evaluation interpreted as an integer in ``[0, 2^256)``.
+
+        This is the form the eligibility check uses: success iff the
+        value is below the difficulty threshold ``D_p`` (Appendix D.4).
+        """
+        return int.from_bytes(self.evaluate_object(obj), "big")
+
+
+class DdhPrf:
+    """The DDH PRF ``PRF_k(m) = H1(m)^k`` over a Schnorr group.
+
+    Security relies on DDH in the group and on ``H1`` hashing to elements
+    of unknown discrete log (see :meth:`SchnorrGroup.hash_to_group`).
+    """
+
+    def __init__(self, group: SchnorrGroup, key: int) -> None:
+        if not 0 < key < group.q:
+            raise ValueError("PRF key must be a nonzero scalar")
+        self.group = group
+        self._key = key
+
+    @property
+    def key(self) -> int:
+        return self._key
+
+    def base_point(self, message: Any) -> int:
+        """``H1(m)``: the per-message base element."""
+        return self.group.hash_to_group_from_object(message)
+
+    def evaluate(self, message: Any) -> int:
+        """``H1(m)^k`` as a group element."""
+        return self.group.exp(self.base_point(message), self._key)

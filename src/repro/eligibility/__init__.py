@@ -1,0 +1,34 @@
+"""Eligibility election: who may multicast which message.
+
+The heart of the paper's upper bound is *vote-specific eligibility*
+(Section 3.2): a node may send message topic ``m`` — e.g. ``(Vote, r, b)``
+— only if a private lottery on ``m`` succeeds, and anyone can verify a
+winner's ticket.  Crucially the lottery is **bit-specific**: eligibility to
+vote for ``b`` in round ``r`` is independent of eligibility for ``1 - b``,
+which is what defeats the adaptive-corruption equivocation attack
+(Remark, Section 3.3).
+
+Two implementations share the :class:`~repro.eligibility.base.EligibilitySource`
+interface:
+
+- :class:`~repro.eligibility.fmine.FMine` — the ideal functionality of
+  Figure 1 (the ``Fmine``-hybrid world of Appendix C);
+- :class:`~repro.eligibility.vrf_eligibility.VrfEligibility` — the
+  compiled real world of Appendix D, with genuine VRF evaluations and
+  proofs.
+"""
+
+from repro.eligibility.base import EligibilitySource, Ticket
+from repro.eligibility.difficulty import DifficultySchedule, Topic
+from repro.eligibility.fmine import FMine, FMineEligibility
+from repro.eligibility.vrf_eligibility import VrfEligibility
+
+__all__ = [
+    "EligibilitySource",
+    "Ticket",
+    "DifficultySchedule",
+    "Topic",
+    "FMine",
+    "FMineEligibility",
+    "VrfEligibility",
+]

@@ -1,0 +1,77 @@
+"""Eligibility interface shared by the ideal and compiled worlds.
+
+A *topic* is the message identity the lottery runs on — a tuple such as
+``("Vote", r, b)`` or ``("Propose", r, b)``.  Tying the bit ``b`` into the
+topic is the paper's key insight (bit-specific eligibility, Section 3.2).
+
+Mining is gated by a per-node :class:`MiningCapability`, mirroring the
+secret key that real-world mining requires: the adversary can mine on a
+node's behalf only after corrupting it and receiving the capability, which
+also gives the ideal functionality the secrecy property Figure 1 promises
+(no one learns an honest node's committee membership before it speaks).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.errors import EligibilityError
+from repro.types import NodeId
+
+#: A message identity for the eligibility lottery, e.g. ("Vote", 3, 1).
+Topic = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """Proof of a successful mining attempt, attached to multicasts.
+
+    Subclasses carry mode-specific payloads (a VRF output in the compiled
+    world; nothing beyond bookkeeping in the ``Fmine``-hybrid world).
+    """
+
+    node_id: NodeId
+    topic: Topic
+
+
+class MiningCapability:
+    """The right to make mining attempts as one node."""
+
+    def __init__(self, source: "EligibilitySource", node_id: NodeId) -> None:
+        self._source = source
+        self.node_id = node_id
+
+    def try_mine(self, topic: Topic) -> Optional[Ticket]:
+        """Attempt the lottery for ``topic``; a ticket iff successful."""
+        return self._source._mine(self, topic)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MiningCapability(node={self.node_id})"
+
+
+class EligibilitySource(abc.ABC):
+    """Common interface of :class:`FMine` and :class:`VrfEligibility`."""
+
+    def capability_for(self, node_id: NodeId) -> MiningCapability:
+        """Hand out a node's mining capability (setup / corruption only)."""
+        raise NotImplementedError
+
+    @abc.abstractmethod
+    def _mine(self, capability: MiningCapability, topic: Topic) -> Optional[Ticket]:
+        """Run the lottery for the capability's node on ``topic``."""
+
+    @abc.abstractmethod
+    def verify(self, ticket: Ticket) -> bool:
+        """Publicly verify a ticket; must never raise on malformed input."""
+
+    @abc.abstractmethod
+    def ticket_bits(self) -> int:
+        """Nominal serialized size of one ticket, for accounting."""
+
+    def check_capability(self, capability: MiningCapability,
+                         expected: MiningCapability) -> None:
+        if capability is not expected:
+            raise EligibilityError(
+                f"counterfeit mining capability for node {capability.node_id}")

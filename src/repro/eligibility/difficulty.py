@@ -1,0 +1,79 @@
+"""Difficulty parameters ``D`` and ``D0`` (Sections 3.2 and C.2).
+
+The paper uses two thresholds:
+
+- ``D`` — committee difficulty: each Status / Vote / Commit / Terminate /
+  ACK attempt succeeds with probability ``λ/n`` so that committees have
+  expected size ``λ = ω(log κ)``;
+- ``D0`` — leader difficulty: each ``(Propose, r, b)`` attempt succeeds
+  with probability ``1/2n`` so that, with 2n possible attempts per
+  iteration, a *unique* proposer appears with constant probability
+  (Lemma 12's ``≥ 1/e``, halved for honesty).
+
+:class:`DifficultySchedule` maps a topic to its success probability and to
+the integer threshold used when comparing real VRF outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.crypto.vrf import VRF_OUTPUT_BITS
+from repro.eligibility.base import Topic
+from repro.errors import ConfigurationError
+from repro.types import SecurityParameters
+
+#: Topic kinds gated at committee difficulty λ/n.
+COMMITTEE_KINDS: FrozenSet[str] = frozenset(
+    {"Status", "Vote", "Commit", "Terminate", "ACK"})
+#: Topic kinds gated at leader difficulty 1/2n.
+LEADER_KINDS: FrozenSet[str] = frozenset({"Propose"})
+
+
+@dataclass(frozen=True)
+class DifficultySchedule:
+    """Success probability per topic kind."""
+
+    committee_probability: float
+    leader_probability: float
+    committee_kinds: FrozenSet[str] = field(default=COMMITTEE_KINDS)
+    leader_kinds: FrozenSet[str] = field(default=LEADER_KINDS)
+
+    def __post_init__(self) -> None:
+        for probability in (self.committee_probability, self.leader_probability):
+            if not 0.0 < probability <= 1.0:
+                raise ConfigurationError(
+                    f"success probability {probability} outside (0, 1]")
+
+    @classmethod
+    def for_parameters(cls, params: SecurityParameters, n: int) -> "DifficultySchedule":
+        """The paper's choices: ``λ/n`` for committees, ``1/2n`` for leaders."""
+        return cls(
+            committee_probability=params.committee_probability(n),
+            leader_probability=params.leader_probability(n),
+        )
+
+    @classmethod
+    def always(cls) -> "DifficultySchedule":
+        """Degenerate schedule where everyone is always eligible.
+
+        Running a subquadratic protocol under this schedule recovers its
+        quadratic warmup counterpart; used in tests and ablations.
+        """
+        return cls(committee_probability=1.0, leader_probability=1.0)
+
+    def probability(self, topic: Topic) -> float:
+        """Success probability for a topic; raises on unknown kinds."""
+        if not topic or not isinstance(topic[0], str):
+            raise ConfigurationError(f"malformed topic {topic!r}")
+        kind = topic[0]
+        if kind in self.committee_kinds:
+            return self.committee_probability
+        if kind in self.leader_kinds:
+            return self.leader_probability
+        raise ConfigurationError(f"no difficulty defined for topic kind {kind!r}")
+
+    def threshold(self, topic: Topic) -> int:
+        """Integer threshold ``D_p``: success iff VRF output ``< D_p``."""
+        return int(self.probability(topic) * (1 << VRF_OUTPUT_BITS))

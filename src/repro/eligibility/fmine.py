@@ -1,0 +1,100 @@
+"""The ``Fmine`` ideal mining functionality (Figure 1).
+
+    Fmine(1^κ, P)
+      On receive mine(m) from node i for the first time:
+        Coin[m, i] := Bernoulli(P(m)); return Coin[m, i].
+      On receive verify(m, i):
+        if mine(m) has been called by node i, return Coin[m, i]; else 0.
+
+Properties implemented faithfully:
+
+- **memoization** — repeated mining attempts on the same ``(m, i)`` reuse
+  the first coin;
+- **secrecy** — mining requires the node's capability, so no party learns
+  an honest node's eligibility before that node chooses to reveal it;
+- **verifiability** — anyone can verify a claimed success, and
+  verification of a never-mined or failed attempt returns 0 (False).
+
+Coins are drawn from a dedicated deterministic stream keyed by
+``(node, topic)`` so executions replay exactly under a fixed seed and are
+independent of call order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.eligibility.base import (
+    EligibilitySource,
+    MiningCapability,
+    Ticket,
+    Topic,
+)
+from repro.eligibility.difficulty import DifficultySchedule
+from repro.rng import Seed, derive_rng
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class FMineTicket(Ticket):
+    """Marker ticket for the hybrid world; validity lives in ``Fmine``."""
+
+
+class FMine:
+    """The trusted party of Figure 1."""
+
+    def __init__(self, schedule: DifficultySchedule, seed: Seed) -> None:
+        self.schedule = schedule
+        self._seed = seed
+        self._coins: Dict[Tuple[NodeId, Topic], bool] = {}
+        # Count attempts per node for the stochastic analyses (Lemma 11).
+        self.attempt_log: list[Tuple[NodeId, Topic]] = []
+
+    def _flip(self, node_id: NodeId, topic: Topic) -> bool:
+        """The Bernoulli(P(m)) coin, deterministic per (node, topic)."""
+        rng = derive_rng(self._seed, "fmine", node_id, topic)
+        return rng.random() < self.schedule.probability(topic)
+
+    def mine(self, node_id: NodeId, topic: Topic) -> bool:
+        """``Fmine.mine(m)`` from node i; memoized per Figure 1."""
+        key = (node_id, topic)
+        if key not in self._coins:
+            self._coins[key] = self._flip(node_id, topic)
+            self.attempt_log.append(key)
+        return self._coins[key]
+
+    def verify(self, node_id: NodeId, topic: Topic) -> bool:
+        """``Fmine.verify(m, i)``: the recorded coin, else 0."""
+        return self._coins.get((node_id, topic), False)
+
+
+class FMineEligibility(EligibilitySource):
+    """Adapter exposing ``Fmine`` through the eligibility interface."""
+
+    def __init__(self, n: int, schedule: DifficultySchedule, seed: Seed) -> None:
+        self.n = n
+        self.fmine = FMine(schedule, seed)
+        self._capabilities = [MiningCapability(self, node) for node in range(n)]
+
+    def capability_for(self, node_id: NodeId) -> MiningCapability:
+        return self._capabilities[node_id]
+
+    def _mine(self, capability: MiningCapability,
+              topic: Topic) -> Optional[FMineTicket]:
+        self.check_capability(capability, self._capabilities[capability.node_id])
+        if self.fmine.mine(capability.node_id, topic):
+            return FMineTicket(node_id=capability.node_id, topic=topic)
+        return None
+
+    def verify(self, ticket: Ticket) -> bool:
+        if not isinstance(ticket, FMineTicket):
+            return False
+        if not 0 <= ticket.node_id < self.n:
+            return False
+        return self.fmine.verify(ticket.node_id, ticket.topic)
+
+    def ticket_bits(self) -> int:
+        # Matches what a real ticket would carry (a 256-bit evaluation plus
+        # a constant-size proof) so ideal-mode accounting is comparable.
+        return 256

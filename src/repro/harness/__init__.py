@@ -1,0 +1,6 @@
+"""Experiment harness: runners, sweeps, experiment tables (E1–E10)."""
+
+from repro.harness.runner import run_instance, run_trials, TrialStats
+from repro.harness.tables import Table
+
+__all__ = ["run_instance", "run_trials", "TrialStats", "Table"]

@@ -1,0 +1,645 @@
+"""Experiments E1–E10: the executable version of the paper's evaluation.
+
+Each ``experiment_e*`` function runs real protocol executions under real
+adversaries and returns an :class:`ExperimentResult` carrying a rendered
+table (what the paper's tables/claims look like in this reproduction) and
+the raw data dictionary (what the tests and EXPERIMENTS.md assertions are
+written against).  DESIGN.md §3 maps each experiment to the paper claim it
+reproduces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.adversaries import (
+    AckEquivocationAdversary,
+    AdaptiveSpeakerAdversary,
+    CrashAdversary,
+    StaticEquivocationAdversary,
+)
+from repro.analysis import (
+    corrupt_quorum_probability,
+    good_iteration_probability,
+    honest_quorum_failure_probability,
+    mean,
+    percentile,
+    terminate_propagation_failure,
+)
+from repro.eligibility import DifficultySchedule, FMineEligibility
+from repro.harness.runner import run_instance, run_trials
+from repro.harness.tables import Table
+from repro.lowerbounds import (
+    run_dolev_reischuk_attack,
+    run_hypothetical_experiment,
+    run_theorem4_attack,
+)
+from repro.protocols import (
+    build_broadcast_from_ba,
+    build_dolev_strong,
+    build_naive_broadcast,
+    build_phase_king_subquadratic,
+    build_quadratic_ba,
+    build_round_eligibility,
+    build_static_committee,
+    build_subquadratic_ba,
+)
+from repro.rng import derive_rng
+from repro.types import SecurityParameters
+
+
+@dataclass
+class ExperimentResult:
+    name: str
+    tables: List[Table]
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return "\n\n".join(table.render() for table in self.tables)
+
+
+def _mixed_inputs(n: int) -> List[int]:
+    return [i % 2 for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# E1 — Theorem 1/4: after-the-fact removal breaks subquadratic BB.
+# ---------------------------------------------------------------------------
+
+def experiment_e1(trials: int = 3) -> ExperimentResult:
+    """Isolation attack: subquadratic BB falls, quadratic BB survives."""
+    params = SecurityParameters(lam=20, epsilon=0.1)
+    table = Table(
+        "E1 (Theorem 1/4) — strongly adaptive isolation attack",
+        ["protocol", "n", "f", "honest msgs", "bound (εf/2)²",
+         "corruptions", "budget dead", "violation rate"],
+    )
+    subq = run_theorem4_attack(
+        build_broadcast_from_ba, n=900, f=400, sender_input=1,
+        seeds=range(trials), epsilon=2 * params.epsilon,
+        ba_builder=build_subquadratic_ba, params=params, max_iterations=12)
+    quad = run_theorem4_attack(
+        build_broadcast_from_ba, n=41, f=19, sender_input=1,
+        seeds=range(trials), epsilon=2 * params.epsilon,
+        ba_builder=build_quadratic_ba, max_iterations=12)
+    for report in (subq, quad):
+        table.add_row(report.protocol, report.n, report.f,
+                      round(report.mean_honest_messages),
+                      round(report.message_bound),
+                      round(report.mean_corruptions, 1),
+                      report.budget_exhausted_rate,
+                      report.violation_rate)
+    # The proof-structure census: the events X and Y of the Theorem 4
+    # argument, measured live in the subquadratic regime.
+    from repro.lowerbounds.theorem4 import run_theorem4_census
+    census = run_theorem4_census(
+        build_broadcast_from_ba, n=1600, f=720, sender_input=1,
+        seeds=range(trials), epsilon=0.25,
+        ba_builder=build_subquadratic_ba,
+        params=SecurityParameters(lam=12, epsilon=0.1), max_iterations=8)
+    census_table = Table(
+        "E1b — the Theorem 4 proof events, measured (adversary A)",
+        ["quantity", "value"],
+    )
+    census_table.add_row("E[z] (messages into V)", round(census.mean_z))
+    census_table.add_row("Markov budget ε(f/2)²",
+                         round(census.markov_budget))
+    census_table.add_row("P[X: z under budget]", census.event_x_rate)
+    census_table.add_row("P[Y: random p starved]", census.event_y_rate)
+    census_table.add_row("P[X ∩ Y]", census.event_xy_rate)
+    census_table.add_row("theorem bound 1-2ε", census.theorem_bound)
+    return ExperimentResult(
+        name="E1", tables=[table, census_table],
+        data={"subquadratic": subq, "quadratic": quad, "census": census})
+
+
+# ---------------------------------------------------------------------------
+# E2 — the Dolev–Reischuk warmup.
+# ---------------------------------------------------------------------------
+
+def experiment_e2() -> ExperimentResult:
+    """A/A' attack: cheap deterministic BB falls, Dolev–Strong resists."""
+    table = Table(
+        "E2 (Section 2 warmup) — Dolev–Reischuk attack",
+        ["protocol", "n", "f", "msgs into V", "budget (f/2)²",
+         "starved p found", "violation"],
+    )
+    naive = run_dolev_reischuk_attack(
+        build_naive_broadcast, n=40, f=16, sender_input=0, seed=1)
+    strong = run_dolev_reischuk_attack(
+        build_dolev_strong, n=24, f=10, sender_input=0, seed=1)
+    for report in (naive, strong):
+        table.add_row(report.protocol, report.n, report.f,
+                      report.messages_into_v, report.message_budget,
+                      report.attack_feasible, report.consistency_violated)
+    return ExperimentResult(
+        name="E2", tables=[table], data={"naive": naive, "dolev_strong": strong})
+
+
+# ---------------------------------------------------------------------------
+# E3 — Theorem 2/17: multicast complexity independent of n.
+# ---------------------------------------------------------------------------
+
+def experiment_e3(trials: int = 3,
+                  sizes: Sequence[int] = (64, 128, 256, 512, 1024),
+                  quad_sizes: Sequence[int] = (16, 32, 64, 128),
+                  ) -> ExperimentResult:
+    """Honest multicasts vs n: flat for subquadratic, linear for quadratic."""
+    params = SecurityParameters(lam=24, epsilon=0.15)
+    table = Table(
+        "E3 (Theorem 2) — multicast complexity vs n (unanimous inputs)",
+        ["protocol", "n", "f", "multicasts", "multicast kbits",
+         "classical msgs"],
+    )
+    subq_counts: Dict[int, float] = {}
+    for n in sizes:
+        f = int(0.3 * n)
+        stats = run_trials(
+            build_subquadratic_ba, f=f, seeds=range(trials),
+            n=n, inputs=[1] * n, params=params,
+            adversary_factory=lambda inst: CrashAdversary())
+        subq_counts[n] = stats.mean_multicasts
+        table.add_row("subquadratic-ba", n, f,
+                      round(stats.mean_multicasts, 1),
+                      round(stats.mean_multicast_bits / 1000, 1),
+                      round(stats.mean_multicasts * (n - 1)))
+    quad_counts: Dict[int, float] = {}
+    for n in quad_sizes:
+        f = (n - 1) // 2
+        stats = run_trials(
+            build_quadratic_ba, f=f, seeds=range(trials),
+            n=n, inputs=[1] * n,
+            adversary_factory=lambda inst: CrashAdversary())
+        quad_counts[n] = stats.mean_multicasts
+        table.add_row("quadratic-ba", n, f,
+                      round(stats.mean_multicasts, 1),
+                      round(stats.mean_multicast_bits / 1000, 1),
+                      round(stats.mean_multicasts * (n - 1)))
+    ds_counts: Dict[int, float] = {}
+    for n in quad_sizes:
+        f = (n - 1) // 2
+        stats = run_trials(
+            build_dolev_strong, f=f, seeds=range(trials),
+            n=n, sender_input=1)
+        ds_counts[n] = stats.mean_multicasts
+        table.add_row("dolev-strong", n, f,
+                      round(stats.mean_multicasts, 1),
+                      round(stats.mean_multicast_bits / 1000, 1),
+                      round(stats.mean_multicasts * (n - 1)))
+    return ExperimentResult(
+        name="E3", tables=[table],
+        data={"subquadratic": subq_counts, "quadratic": quad_counts,
+              "dolev_strong": ds_counts, "lam": params.lam})
+
+
+# ---------------------------------------------------------------------------
+# E4 — expected constant rounds (Corollary 16 / Lemma 12).
+# ---------------------------------------------------------------------------
+
+def experiment_e4(trials: int = 20) -> ExperimentResult:
+    """Decision-round distribution: constant for the iterated BA."""
+    params = SecurityParameters(lam=30, epsilon=0.1)
+    table = Table(
+        "E4 (Corollary 16) — termination rounds (mixed inputs, crash faults)",
+        ["protocol", "n", "mean rounds", "p90 rounds",
+         "good-iter prob (Lemma 12)", "termination rate"],
+    )
+    data: Dict[str, Any] = {}
+    for n in (100, 200, 400):
+        f = int(0.25 * n)
+        stats = run_trials(
+            build_subquadratic_ba, f=f, seeds=range(trials),
+            n=n, inputs=_mixed_inputs(n), params=params,
+            adversary_factory=lambda inst: CrashAdversary())
+        rounds = [float(r.rounds_executed) for r in stats.results]
+        table.add_row(f"subquadratic-ba", n, round(mean(rounds), 1),
+                      percentile(rounds, 90),
+                      round(good_iteration_probability(n), 4),
+                      stats.termination_rate)
+        data[f"subq_rounds_n{n}"] = rounds
+        data[f"subq_termination_n{n}"] = stats.termination_rate
+    # Phase-king runs a fixed R = ω(log κ) epochs, no early exit.
+    n = 150
+    f = 20
+    epochs = 12
+    stats = run_trials(
+        build_phase_king_subquadratic, f=f, seeds=range(max(4, trials // 2)),
+        n=n, inputs=_mixed_inputs(n), params=params, epochs=epochs,
+        adversary_factory=lambda inst: CrashAdversary())
+    rounds = [float(r.rounds_executed) for r in stats.results]
+    table.add_row("phase-king-subq (fixed R)", n, round(mean(rounds), 1),
+                  percentile(rounds, 90), "-", stats.termination_rate)
+    data["phase_king_rounds"] = rounds
+    return ExperimentResult(name="E4", tables=[table], data=data)
+
+
+# ---------------------------------------------------------------------------
+# E5 — resilience sweep up to (1/2 - ε) n (Theorem 17).
+# ---------------------------------------------------------------------------
+
+def experiment_e5(trials: int = 6,
+                  fractions: Sequence[float] = (0.1, 0.2, 0.3, 0.4),
+                  ) -> ExperimentResult:
+    """Consistency/validity under the equivocation stress, by corruption
+    fraction."""
+    params = SecurityParameters(lam=40, epsilon=0.1)
+    n = 200
+    table = Table(
+        "E5 (Theorem 17) — resilience sweep, static equivocation adversary",
+        ["f/n", "f", "consistency", "validity", "termination",
+         "mean rounds", "per-topic failure (pred.)"],
+    )
+    data: Dict[str, Any] = {}
+    for fraction in fractions:
+        f = int(fraction * n)
+        stats = run_trials(
+            build_subquadratic_ba, f=f, seeds=range(trials),
+            n=n, inputs=[1] * n, params=params,
+            adversary_factory=StaticEquivocationAdversary)
+        # The analytical envelope: the probability that a single topic's
+        # committee goes bad (Lemma 11).  The measured rates should track
+        # this prediction — near-perfect at small f/n, degrading as f/n
+        # approaches 1/2 for a concrete (non-asymptotic) λ.
+        predicted = (corrupt_quorum_probability(n, f, params.lam)
+                     + honest_quorum_failure_probability(n, f, params.lam))
+        table.add_row(fraction, f, stats.consistency_rate,
+                      stats.validity_rate, stats.termination_rate,
+                      round(stats.mean_rounds, 1), round(predicted, 4))
+        data[f"fraction_{fraction}"] = {
+            "consistency": stats.consistency_rate,
+            "validity": stats.validity_rate,
+            "termination": stats.termination_rate,
+            "predicted_per_topic_failure": predicted,
+        }
+    return ExperimentResult(name="E5", tables=[table], data=data)
+
+
+# ---------------------------------------------------------------------------
+# E6 — bit-specific vs round-specific eligibility (Remark 3.3).
+# ---------------------------------------------------------------------------
+
+def experiment_e6(trials: int = 5) -> ExperimentResult:
+    """The equivocation attack across the three designs."""
+    params = SecurityParameters(lam=30, epsilon=0.1)
+    n, f = 150, 45
+    table = Table(
+        "E6 (Remark 3.3) — eligibility design vs same-round equivocation",
+        ["design", "erasure", "consistency rate", "forged ACKs/run"],
+    )
+    data: Dict[str, Any] = {}
+
+    def run_round_eligibility(memory_erasure: bool):
+        stats_forged = []
+        consistent = 0
+        for seed in range(trials):
+            instance = build_round_eligibility(
+                n=n, f=f, inputs=[1] * n, seed=seed, params=params,
+                epochs=6, memory_erasure=memory_erasure)
+            adversary = AckEquivocationAdversary(instance, reserve=60)
+            result = run_instance(instance, f, adversary, seed=seed)
+            consistent += result.consistent()
+            stats_forged.append(adversary.forged)
+        return consistent / trials, mean([float(x) for x in stats_forged])
+
+    rate, forged = run_round_eligibility(memory_erasure=False)
+    table.add_row("round-specific", False, rate, round(forged, 1))
+    data["round_no_erasure"] = rate
+    rate, forged = run_round_eligibility(memory_erasure=True)
+    table.add_row("round-specific", True, rate, round(forged, 1))
+    data["round_erasure"] = rate
+
+    consistent = 0
+    for seed in range(trials):
+        instance = build_phase_king_subquadratic(
+            n=n, f=f, inputs=[1] * n, seed=seed, params=params, epochs=6)
+        adversary = AdaptiveSpeakerAdversary(instance)
+        result = run_instance(instance, f, adversary, seed=seed)
+        consistent += result.consistent()
+    rate = consistent / trials
+    table.add_row("bit-specific (paper)", False, rate, 0)
+    data["bit_specific"] = rate
+    return ExperimentResult(name="E6", tables=[table], data=data)
+
+
+# ---------------------------------------------------------------------------
+# E7 — Theorem 3: setup assumptions are necessary.
+# ---------------------------------------------------------------------------
+
+def experiment_e7() -> ExperimentResult:
+    """The Q --- 1 --- Q' experiment with and without a PKI."""
+    table = Table(
+        "E7 (Theorem 3) — hypothetical experiment Q --- 1 --- Q'",
+        ["setup", "n", "Q outputs", "Q' outputs", "bridge", "contradiction",
+         "Q' speakers (corruptions)", "bridge rejections"],
+    )
+    shared = run_hypothetical_experiment(
+        n=60, seed=2, params=SecurityParameters(lam=24), epochs=6,
+        setup="shared-ro")
+    pki = run_hypothetical_experiment(
+        n=24, seed=2, params=SecurityParameters(lam=12), epochs=4,
+        setup="pki")
+    for report in (shared, pki):
+        table.add_row(report.setup, report.n,
+                      sorted(report.left_outputs),
+                      sorted(report.right_outputs),
+                      report.bridge_output, report.contradiction,
+                      report.right_speakers, report.bridge_rejections)
+    return ExperimentResult(
+        name="E7", tables=[table], data={"shared": shared, "pki": pki})
+
+
+# ---------------------------------------------------------------------------
+# E8 — the stochastic lemmas (10, 11, 12) vs measurement.
+# ---------------------------------------------------------------------------
+
+def experiment_e8(samples: int = 400) -> ExperimentResult:
+    """Monte-Carlo committee statistics vs the exact/Chernoff predictions."""
+    n, f, lam = 300, 120, 30
+    params = SecurityParameters(lam=lam, epsilon=0.1)
+    schedule = DifficultySchedule.for_parameters(params, n)
+    threshold = (lam + 1) // 2
+
+    corrupt_hits = 0
+    honest_misses = 0
+    committee_sizes: List[float] = []
+    for sample in range(samples):
+        source = FMineEligibility(n, schedule, seed=("e8", sample))
+        topic = ("Vote", 1, 1)
+        eligible = [node for node in range(n)
+                    if source.capability_for(node).try_mine(topic) is not None]
+        committee_sizes.append(float(len(eligible)))
+        corrupt = sum(1 for node in eligible if node < f)
+        honest = len(eligible) - corrupt
+        corrupt_hits += corrupt >= threshold
+        honest_misses += honest < threshold
+
+    # The proposer lottery is cheap to sample, so use a larger pool for a
+    # tighter Monte-Carlo estimate of Lemma 12's probability.
+    proposer_samples = 4 * samples
+    good_iterations = 0
+    rng = derive_rng("e8-proposer", proposer_samples)
+    for sample in range(proposer_samples):
+        successes = sum(1 for _ in range(2 * n) if rng.random() < 1 / (2 * n))
+        if successes == 1 and rng.random() < 0.5:
+            good_iterations += 1
+
+    table = Table(
+        "E8 (Lemmas 10-12) — measured vs predicted committee statistics",
+        ["quantity", "measured", "predicted"],
+    )
+    table.add_row("mean committee size", round(mean(committee_sizes), 2), lam)
+    table.add_row("P[corrupt quorum ≥ λ/2]", corrupt_hits / samples,
+                  round(corrupt_quorum_probability(n, f, lam), 5))
+    table.add_row("P[honest quorum < λ/2]", honest_misses / samples,
+                  round(honest_quorum_failure_probability(n, f, lam), 5))
+    table.add_row("P[good iteration]", good_iterations / proposer_samples,
+                  round(good_iteration_probability(n), 4))
+    table.add_row("P[Terminate propagation fails | εn/2 done]",
+                  "-", terminate_propagation_failure(n, lam, int(0.05 * n)))
+    return ExperimentResult(
+        name="E8", tables=[table],
+        data={
+            "mean_committee": mean(committee_sizes),
+            "corrupt_quorum_rate": corrupt_hits / samples,
+            "corrupt_quorum_pred": corrupt_quorum_probability(n, f, lam),
+            "honest_miss_rate": honest_misses / samples,
+            "honest_miss_pred": honest_quorum_failure_probability(n, f, lam),
+            "good_iteration_rate": good_iterations / proposer_samples,
+            "good_iteration_pred": good_iteration_probability(n),
+        })
+
+
+# ---------------------------------------------------------------------------
+# E9 — the Section 1 comparison table.
+# ---------------------------------------------------------------------------
+
+def experiment_e9(trials: int = 3) -> ExperimentResult:
+    """All protocols, one table: resilience / rounds / multicasts."""
+    params = SecurityParameters(lam=30, epsilon=0.1)
+    n = 150
+    table = Table(
+        "E9 (Section 1) — protocol comparison (honest executions, mixed inputs)",
+        ["protocol", "tolerates", "adaptive-safe", "rounds",
+         "multicasts", "assumptions"],
+    )
+    data: Dict[str, Any] = {}
+
+    def record(name, stats, tolerates, adaptive_safe, assumptions):
+        table.add_row(name, tolerates, adaptive_safe,
+                      round(stats.mean_rounds, 1),
+                      round(stats.mean_multicasts, 1), assumptions)
+        data[name] = {"rounds": stats.mean_rounds,
+                      "multicasts": stats.mean_multicasts}
+
+    stats = run_trials(build_dolev_strong, f=30, seeds=range(trials),
+                       n=n, sender_input=1)
+    record("dolev-strong (BB)", stats, "f<n", "yes (quadratic)", "PKI")
+    stats = run_trials(build_quadratic_ba, f=(n - 1) // 2, seeds=range(trials),
+                       n=n, inputs=_mixed_inputs(n))
+    record("quadratic-ba", stats, "f<n/2", "yes (quadratic)", "PKI")
+    stats = run_trials(build_static_committee, f=40, seeds=range(trials),
+                       n=n, inputs=[1] * n)
+    record("static-committee", stats, "static only", "NO (E1-style takeover)",
+           "CRS+PKI")
+    stats = run_trials(build_round_eligibility, f=30, seeds=range(trials),
+                       n=n, inputs=[1] * n, params=params, epochs=8)
+    record("round-eligibility", stats, "f<n/3", "only with erasure",
+           "PKI+RO+erasure")
+    stats = run_trials(build_phase_king_subquadratic, f=30, seeds=range(trials),
+                       n=n, inputs=[1] * n, params=params, epochs=8)
+    record("phase-king-subq (§3.2)", stats, "f<(1/3-ε)n", "yes", "PKI")
+    stats = run_trials(build_subquadratic_ba, f=60, seeds=range(trials),
+                       n=n, inputs=_mixed_inputs(n), params=params)
+    record("subquadratic-ba (§C.2)", stats, "f<(1/2-ε)n", "yes", "PKI")
+    return ExperimentResult(name="E9", tables=[table], data=data)
+
+
+# ---------------------------------------------------------------------------
+# E10 — message size O(λ (log κ + log n)) (Theorem 17).
+# ---------------------------------------------------------------------------
+
+def experiment_e10(trials: int = 2) -> ExperimentResult:
+    """Max message size vs λ and n, ideal and real-crypto modes."""
+    table = Table(
+        "E10 (Theorem 17) — maximum message size",
+        ["mode", "n", "λ", "max message kbits", "multicast kbits total"],
+    )
+    data: Dict[str, Any] = {}
+    for lam in (20, 40):
+        for n in (128, 512):
+            params = SecurityParameters(lam=lam, epsilon=0.1)
+            f = int(0.3 * n)
+            stats = run_trials(
+                build_subquadratic_ba, f=f, seeds=range(trials),
+                n=n, inputs=[1] * n, params=params)
+            max_bits = max(r.metrics.max_message_bits for r in stats.results)
+            table.add_row("fmine", n, lam, round(max_bits / 1000, 2),
+                          round(stats.mean_multicast_bits / 1000, 1))
+            data[f"fmine_n{n}_lam{lam}"] = max_bits
+    n, lam = 32, 12
+    params = SecurityParameters(lam=lam, epsilon=0.1)
+    stats = run_trials(
+        build_subquadratic_ba, f=int(0.3 * n), seeds=range(1),
+        n=n, inputs=[1] * n, params=params, mode="vrf")
+    max_bits = max(r.metrics.max_message_bits for r in stats.results)
+    table.add_row("vrf (real crypto)", n, lam, round(max_bits / 1000, 2),
+                  round(stats.mean_multicast_bits / 1000, 1))
+    data["vrf_max_bits"] = max_bits
+    return ExperimentResult(name="E10", tables=[table], data=data)
+
+
+# ---------------------------------------------------------------------------
+# E11 — Appendix D/E: the compiled world matches the hybrid world.
+# ---------------------------------------------------------------------------
+
+def experiment_e11(trials: int = 3) -> ExperimentResult:
+    """Run identical configurations in the Fmine-hybrid and compiled
+    (real VRF) worlds and compare every observable the proofs care about.
+
+    Appendix E proves the real world preserves the hybrid world's security
+    properties; here both worlds run the same protocol code with only the
+    EligibilitySource swapped, so the security predicates and complexity
+    shape must match (the exact coins differ — the compiled lottery is the
+    VRF's, not Fmine's).
+    """
+    n, f = 36, 10
+    params = SecurityParameters(lam=12, epsilon=0.1)
+    table = Table(
+        "E11 (Appendices D/E) — Fmine-hybrid world vs compiled world",
+        ["world", "consistency", "validity", "termination",
+         "mean multicasts", "mean rounds"],
+    )
+    data: Dict[str, Any] = {}
+    for mode in ("fmine", "vrf"):
+        stats = run_trials(
+            build_subquadratic_ba, f=f, seeds=range(trials),
+            n=n, inputs=_mixed_inputs(n), params=params, mode=mode,
+            adversary_factory=StaticEquivocationAdversary)
+        table.add_row(mode, stats.consistency_rate, stats.validity_rate,
+                      stats.termination_rate,
+                      round(stats.mean_multicasts, 1),
+                      round(stats.mean_rounds, 1))
+        data[mode] = {
+            "consistency": stats.consistency_rate,
+            "validity": stats.validity_rate,
+            "termination": stats.termination_rate,
+            "multicasts": stats.mean_multicasts,
+        }
+    return ExperimentResult(name="E11", tables=[table], data=data)
+
+
+# ---------------------------------------------------------------------------
+# E12 — ablations of the paper's design choices.
+# ---------------------------------------------------------------------------
+
+def experiment_e12(trials: int = 4) -> ExperimentResult:
+    """Three ablations of C.2 design choices.
+
+    (a) Leader difficulty: the paper picks 1/2n so that a *unique* honest
+        proposer appears with constant probability; sweeping it shows the
+        tension (too low: no proposer; too high: conflicting proposers).
+    (b) Degenerate difficulty p = 1: the compiled protocol collapses back
+        to its quadratic warmup — same agreement, linear speakers.
+    (c) Quorum threshold: λ/2 balances safety (corrupt quorum) against
+        liveness (honest quorum); the Lemma 11 tails quantify both sides.
+    """
+    data: Dict[str, Any] = {}
+
+    # (a) Leader-difficulty sweep.
+    n, f = 200, 50
+    lam = 30
+    leader_table = Table(
+        "E12a — leader difficulty ablation (paper: 1/2n)",
+        ["leader probability", "mean rounds", "termination rate"],
+    )
+    from repro.eligibility.difficulty import DifficultySchedule
+    from repro.eligibility.fmine import FMineEligibility
+
+    for factor, label in ((0.25, "1/4n"), (0.5, "1/2n (paper)"),
+                          (1.0, "1/n"), (2.0, "2/n")):
+        rounds: List[float] = []
+        terminated = 0
+        for seed in range(trials):
+            schedule = DifficultySchedule(
+                committee_probability=min(1.0, lam / n),
+                leader_probability=min(1.0, factor / n))
+            eligibility = FMineEligibility(
+                n, schedule, seed=(f"e12a-{factor}", seed))
+            instance = build_subquadratic_ba(
+                n=n, f=f, inputs=_mixed_inputs(n), seed=seed,
+                params=SecurityParameters(lam=lam, epsilon=0.1),
+                eligibility=eligibility, max_iterations=30)
+            # Equivocating corruption: higher leader probability also
+            # means more *corrupt* proposers blocking commits — the
+            # tension the 1/2n choice balances.
+            adversary = StaticEquivocationAdversary(instance)
+            result = run_instance(instance, f, adversary, seed=seed)
+            rounds.append(float(result.rounds_executed))
+            terminated += result.all_decided()
+        leader_table.add_row(label, round(mean(rounds), 1),
+                             terminated / trials)
+        data[f"leader_{label}"] = mean(rounds)
+
+    # (b) Degenerate difficulty p = 1 recovers the quadratic warmup.
+    recover_table = Table(
+        "E12b — difficulty p=1 collapses the compiled protocol to the warmup",
+        ["protocol", "n", "multicasts", "consistency"],
+    )
+    n_small, f_small = 30, 8
+    schedule = DifficultySchedule.always()
+    eligibility = FMineEligibility(n_small, schedule, seed="e12b")
+    instance = build_subquadratic_ba(
+        n=n_small, f=f_small, inputs=_mixed_inputs(n_small), seed=0,
+        params=SecurityParameters(lam=2 * n_small, epsilon=0.1),
+        eligibility=eligibility, max_iterations=20)
+    result = run_instance(instance, f_small, seed=0)
+    recover_table.add_row("compiled, p=1", n_small,
+                          result.metrics.multicast_complexity_messages,
+                          result.consistent())
+    quad_stats = run_trials(build_quadratic_ba, f=f_small, seeds=[0],
+                            n=n_small, inputs=_mixed_inputs(n_small))
+    recover_table.add_row("quadratic warmup", n_small,
+                          round(quad_stats.mean_multicasts, 1),
+                          quad_stats.consistency_rate == 1.0)
+    data["p1_multicasts"] = result.metrics.multicast_complexity_messages
+    data["p1_consistent"] = result.consistent()
+    data["warmup_multicasts"] = quad_stats.mean_multicasts
+
+    # (c) The λ/2 threshold's two-sided failure envelope.
+    threshold_table = Table(
+        "E12c — quorum threshold ablation (analytical, n=300 f=90 λ=40)",
+        ["threshold", "P[corrupt quorum]", "P[honest shortfall]"],
+    )
+    from repro.analysis.chernoff import binomial_tail_ge, binomial_tail_le
+    n_c, f_c, lam_c = 300, 90, 40
+    for fraction, label in ((0.35, "0.35λ"), (0.5, "0.50λ (paper)"),
+                            (0.65, "0.65λ")):
+        threshold = math.ceil(fraction * lam_c)
+        corrupt_quorum = binomial_tail_ge(threshold, f_c, lam_c / n_c)
+        honest_short = binomial_tail_le(threshold - 1, n_c - f_c,
+                                        lam_c / n_c)
+        threshold_table.add_row(label, corrupt_quorum, honest_short)
+        data[f"threshold_{label}"] = (corrupt_quorum, honest_short)
+
+    return ExperimentResult(
+        name="E12",
+        tables=[leader_table, recover_table, threshold_table],
+        data=data)
+
+
+ALL_EXPERIMENTS = {
+    "E1": experiment_e1,
+    "E2": experiment_e2,
+    "E3": experiment_e3,
+    "E4": experiment_e4,
+    "E5": experiment_e5,
+    "E6": experiment_e6,
+    "E7": experiment_e7,
+    "E8": experiment_e8,
+    "E9": experiment_e9,
+    "E10": experiment_e10,
+    "E11": experiment_e11,
+    "E12": experiment_e12,
+}

@@ -1,0 +1,139 @@
+"""Convenience runners used by tests, examples, and benchmarks.
+
+``run_instance`` wires a :class:`~repro.protocols.base.ProtocolInstance`
+into a :class:`~repro.sim.engine.Simulation` against an (optionally
+instance-aware) adversary; ``run_trials`` repeats a builder across seeds
+and aggregates the security predicates into a :class:`TrialStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.protocols.base import ProtocolInstance
+from repro.sim.adversary import Adversary
+from repro.sim.engine import Simulation
+from repro.sim.result import ExecutionResult
+from repro.types import AdversaryModel
+
+#: Builds an adversary for a freshly constructed protocol instance.
+AdversaryFactory = Callable[[ProtocolInstance], Adversary]
+
+
+def run_instance(
+    instance: ProtocolInstance,
+    f: int,
+    adversary: Optional[Adversary] = None,
+    model: AdversaryModel = AdversaryModel.ADAPTIVE,
+    seed=0,
+    max_rounds: Optional[int] = None,
+) -> ExecutionResult:
+    """Execute one protocol instance against one adversary."""
+    simulation = Simulation(
+        nodes=instance.nodes,
+        corruption_budget=f,
+        model=model,
+        adversary=adversary,
+        max_rounds=max_rounds if max_rounds is not None else instance.max_rounds,
+        seed=seed,
+        inputs=instance.inputs,
+        signing_capabilities=instance.signing_capabilities,
+        mining_capabilities=instance.mining_capabilities,
+    )
+    return simulation.run()
+
+
+@dataclass
+class TrialStats:
+    """Aggregated security predicates over repeated executions."""
+
+    results: List[ExecutionResult] = field(default_factory=list)
+
+    def add(self, result: ExecutionResult) -> None:
+        self.results.append(result)
+
+    @property
+    def trials(self) -> int:
+        return len(self.results)
+
+    @property
+    def consistency_rate(self) -> float:
+        if not self.results:
+            return 1.0
+        return sum(r.consistent() for r in self.results) / len(self.results)
+
+    @property
+    def validity_rate(self) -> float:
+        if not self.results:
+            return 1.0
+        return sum(r.agreement_valid() for r in self.results) / len(self.results)
+
+    @property
+    def violation_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(
+            not (r.consistent() and r.agreement_valid()) for r in self.results
+        ) / len(self.results)
+
+    @property
+    def termination_rate(self) -> float:
+        if not self.results:
+            return 1.0
+        return sum(r.all_decided() for r in self.results) / len(self.results)
+
+    @property
+    def mean_multicasts(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.metrics.multicast_complexity_messages
+                   for r in self.results) / len(self.results)
+
+    @property
+    def mean_multicast_bits(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.metrics.multicast_complexity_bits
+                   for r in self.results) / len(self.results)
+
+    @property
+    def mean_rounds(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.rounds_executed for r in self.results) / len(self.results)
+
+    @property
+    def mean_corruptions(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.corruptions_used for r in self.results) / len(self.results)
+
+    def decision_rounds(self) -> List[int]:
+        rounds: List[int] = []
+        for result in self.results:
+            rounds.extend(result.decision_rounds())
+        return rounds
+
+
+def run_trials(
+    builder: Callable[..., ProtocolInstance],
+    f: int,
+    seeds: Sequence,
+    adversary_factory: Optional[AdversaryFactory] = None,
+    model: AdversaryModel = AdversaryModel.ADAPTIVE,
+    **builder_kwargs,
+) -> TrialStats:
+    """Build and run the protocol once per seed; aggregate the outcomes.
+
+    The builder receives ``seed=<seed>`` plus ``builder_kwargs``; the
+    adversary factory (if any) is invoked on each fresh instance, so
+    attacks can read the instance's services.
+    """
+    stats = TrialStats()
+    for seed in seeds:
+        instance = builder(f=f, seed=seed, **builder_kwargs)
+        adversary = (adversary_factory(instance)
+                     if adversary_factory is not None else None)
+        stats.add(run_instance(instance, f, adversary, model, seed=seed))
+    return stats

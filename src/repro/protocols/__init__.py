@@ -1,0 +1,53 @@
+"""Protocol implementations.
+
+The paper's own constructions:
+
+- :mod:`repro.protocols.phase_king` — the warmup BA of Section 3.1
+  (sticky-flag phase-king, tolerates < n/3, R = ω(log κ) epochs).
+- :mod:`repro.protocols.phase_king_subquadratic` — Section 3.2: the same
+  protocol compiled with bit-specific eligibility (committee threshold
+  2λ/3, mined leader proposals).
+- :mod:`repro.protocols.quadratic_ba` — Appendix C.1: the Abraham et al.
+  Status/Propose/Vote/Commit BA (tolerates < n/2, expected O(1) rounds,
+  quadratic communication).
+- :mod:`repro.protocols.subquadratic_ba` — Appendix C.2: the headline
+  protocol; the quadratic BA compiled with vote-specific eligibility
+  (threshold λ/2, O(λ²) multicasts, expected O(1) rounds).
+- :mod:`repro.protocols.broadcast` — Byzantine Broadcast from BA
+  (Section 1.1's reduction).
+
+Baselines the paper positions itself against:
+
+- :mod:`repro.protocols.dolev_strong` — classic authenticated broadcast.
+- :mod:`repro.protocols.static_committee` — CRS-elected committee BA,
+  secure only against static adversaries (Section 1's motivating failure).
+- :mod:`repro.protocols.round_eligibility` — the Chen–Micali strawman of
+  Section 3.2: eligibility per round but *not* per bit, with an optional
+  memory-erasure defence (forward-secure keys).
+- :mod:`repro.protocols.naive` — deliberately cheap deterministic
+  broadcast protocols used as lower-bound targets.
+"""
+
+from repro.protocols.base import ProtocolInstance
+from repro.protocols.quadratic_ba import build_quadratic_ba
+from repro.protocols.subquadratic_ba import build_subquadratic_ba
+from repro.protocols.phase_king import build_phase_king
+from repro.protocols.phase_king_subquadratic import build_phase_king_subquadratic
+from repro.protocols.dolev_strong import build_dolev_strong
+from repro.protocols.static_committee import build_static_committee
+from repro.protocols.round_eligibility import build_round_eligibility
+from repro.protocols.broadcast import build_broadcast_from_ba
+from repro.protocols.naive import build_naive_broadcast
+
+__all__ = [
+    "ProtocolInstance",
+    "build_quadratic_ba",
+    "build_subquadratic_ba",
+    "build_phase_king",
+    "build_phase_king_subquadratic",
+    "build_dolev_strong",
+    "build_static_committee",
+    "build_round_eligibility",
+    "build_broadcast_from_ba",
+    "build_naive_broadcast",
+]

@@ -1,0 +1,409 @@
+"""The iterated Status/Propose/Vote/Commit BA node (Appendix C).
+
+One node implementation serves both worlds:
+
+- **quadratic warmup** (C.1): signature authenticator (everyone speaks),
+  threshold ``f + 1``, oracle leader;
+- **subquadratic** (C.2): eligibility authenticator (conditional
+  multicast), threshold ``λ/2``, mined leaders.
+
+Protocol structure per iteration ``r`` (the very first iteration skips
+Status and Propose):
+
+1. **Status** — multicast the highest certificate seen so far.
+2. **Propose** — an eligible proposer multicasts ``(Propose, r, b)`` for
+   the bit ``b`` carrying its highest certificate, certificate attached.
+3. **Vote** — vote for a proposed ``b`` unless a *strictly* higher
+   certificate for ``1 - b`` has been observed (an equal-rank opposite
+   certificate does not block).  Iteration 1: vote for the input bit.
+   Votes attach the justifying proposal (footnote 11) — this is what
+   prevents corrupt nodes from manufacturing votes for a bit no eligible
+   proposer proposed.
+4. **Commit** — upon a quorum of iteration-``r`` votes for ``b`` with *no*
+   valid iteration-``r`` vote for ``1 - b``, multicast ``(Commit, r, b)``
+   with the certificate attached.
+
+At any time, a quorum of iteration-``r`` commits for ``b`` (or a valid
+``Terminate`` message) makes the node output ``b``, conditionally multicast
+``(Terminate, b)`` with the commits attached, and halt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.protocols.base import Authenticator, ProposerPolicy
+from repro.protocols.certificates import (
+    Certificate,
+    certificate_from_votes,
+    rank,
+    verify_certificate,
+)
+from repro.protocols.messages import (
+    CommitMsg,
+    ProposeMsg,
+    SignedVote,
+    StatusMsg,
+    TerminateMsg,
+    VoteMsg,
+)
+from repro.sim.node import Node, RoundContext
+from repro.types import Bit, NodeId, Round, other_bit
+
+PHASE_STATUS = "Status"
+PHASE_PROPOSE = "Propose"
+PHASE_VOTE = "Vote"
+PHASE_COMMIT = "Commit"
+
+_LATER_PHASES = (PHASE_STATUS, PHASE_PROPOSE, PHASE_VOTE, PHASE_COMMIT)
+
+
+def schedule(round_index: Round) -> Tuple[int, str]:
+    """Map a global round to ``(iteration, phase)``.
+
+    Iteration 1 consists of Vote and Commit only (C.1: "the protocol for
+    the very first iteration skips the Status and Propose rounds").
+    """
+    if round_index == 0:
+        return 1, PHASE_VOTE
+    if round_index == 1:
+        return 1, PHASE_COMMIT
+    offset = round_index - 2
+    return 2 + offset // 4, _LATER_PHASES[offset % 4]
+
+
+def rounds_for_iterations(iterations: int) -> int:
+    """Rounds needed to run the given number of iterations to completion,
+    plus one delivery round so final-commit quorums can be tallied."""
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    return 2 + 4 * (iterations - 1) + 1
+
+
+@dataclass
+class AbaConfig:
+    """Parameters distinguishing the quadratic and subquadratic worlds."""
+
+    threshold: int
+    authenticator: Authenticator
+    proposer: ProposerPolicy
+    max_iterations: int
+
+
+class AbaNode(Node):
+    """One party of the iterated BA protocol."""
+
+    def __init__(self, node_id: NodeId, n: int, input_bit: Bit,
+                 config: AbaConfig) -> None:
+        super().__init__(node_id, n)
+        self.input_bit = input_bit
+        self.config = config
+        # Highest certificate observed per bit (None = iteration-0 rank).
+        self.best_cert: Dict[Bit, Optional[Certificate]] = {0: None, 1: None}
+        # (iteration, bit) -> voter -> auth, valid votes only.
+        self.votes_seen: Dict[Tuple[int, Bit], Dict[NodeId, Any]] = {}
+        # (iteration, bit) -> sender -> CommitMsg, valid commits only.
+        self.commits_seen: Dict[Tuple[int, Bit], Dict[NodeId, CommitMsg]] = {}
+        # Valid proposals received, per iteration.
+        self.proposals: Dict[int, List[ProposeMsg]] = {}
+        self.last_vote: Optional[Bit] = None
+        self.decision: Optional[Bit] = None
+        self.decision_iteration: Optional[int] = None
+        # Certificate verification is pure and certificates are immutable
+        # (and kept alive by the network transcript), so memoize by
+        # identity: each certificate is checked once per node.
+        self._cert_cache: Dict[int, bool] = {}
+
+    # -- validation helpers --------------------------------------------------
+    def _check_vote_auth(self, vote: SignedVote) -> bool:
+        return self.config.authenticator.check(
+            vote.voter, ("Vote", vote.iteration, vote.bit), vote.auth)
+
+    def _check_certificate(self, certificate: Optional[Certificate],
+                           expected_bit: Optional[Bit] = None) -> bool:
+        if certificate is None:
+            return True  # the fictitious iteration-0 certificate
+        if expected_bit is not None and certificate.bit != expected_bit:
+            return False
+        key = id(certificate)
+        if key not in self._cert_cache:
+            self._cert_cache[key] = verify_certificate(
+                certificate, self.config.threshold, self._check_vote_auth)
+        return self._cert_cache[key]
+
+    def _absorb_certificate(self, certificate: Optional[Certificate]) -> None:
+        """Track the highest-ranked certificate per bit (pre-validated)."""
+        if certificate is None:
+            return
+        current = self.best_cert[certificate.bit]
+        if rank(certificate) > rank(current):
+            self.best_cert[certificate.bit] = certificate
+
+    def _proposal_valid(self, msg: ProposeMsg) -> bool:
+        if msg.bit not in (0, 1):
+            return False
+        if not self.config.proposer.check(msg.sender, msg.iteration,
+                                          msg.bit, msg.auth):
+            return False
+        return self._check_certificate(msg.certificate, expected_bit=msg.bit)
+
+    def _preferred_bit(self) -> Bit:
+        """Bit of the overall highest certificate; falls back to the last
+        vote, then the input bit."""
+        rank0, rank1 = rank(self.best_cert[0]), rank(self.best_cert[1])
+        if rank0 > rank1:
+            return 0
+        if rank1 > rank0:
+            return 1
+        return self.last_vote if self.last_vote is not None else self.input_bit
+
+    # -- inbox processing ------------------------------------------------------
+    def _process_inbox(self, ctx: RoundContext) -> Optional[Tuple[int, Bit]]:
+        """Validate and absorb every delivery; return a pending decision
+        ``(iteration, bit)`` if one became available."""
+        pending: Optional[Tuple[int, Bit]] = None
+        for delivery in ctx.inbox:
+            msg = delivery.payload
+            if isinstance(msg, StatusMsg):
+                self._handle_status(msg)
+            elif isinstance(msg, ProposeMsg):
+                self._handle_propose(msg)
+            elif isinstance(msg, VoteMsg):
+                self._handle_vote(msg)
+            elif isinstance(msg, CommitMsg):
+                self._handle_commit(msg)
+            elif isinstance(msg, TerminateMsg):
+                adopted = self._handle_terminate(msg)
+                if adopted is not None:
+                    pending = adopted
+        for (iteration, bit), commits in self.commits_seen.items():
+            if len(commits) >= self.config.threshold:
+                pending = (iteration, bit)
+        return pending
+
+    def _handle_status(self, msg: StatusMsg) -> None:
+        topic = ("Status", msg.iteration, msg.bit)
+        if not self.config.authenticator.check(msg.sender, topic, msg.auth):
+            return
+        if self._check_certificate(msg.certificate, expected_bit=msg.bit):
+            self._absorb_certificate(msg.certificate)
+
+    def _handle_propose(self, msg: ProposeMsg) -> None:
+        if not self._proposal_valid(msg):
+            return
+        self._absorb_certificate(msg.certificate)
+        self.proposals.setdefault(msg.iteration, []).append(msg)
+
+    def _handle_vote(self, msg: VoteMsg) -> None:
+        if msg.bit not in (0, 1):
+            return
+        topic = ("Vote", msg.iteration, msg.bit)
+        if not self.config.authenticator.check(msg.sender, topic, msg.auth):
+            return
+        if msg.iteration > 1:
+            # Footnote 11: votes beyond iteration 1 carry the leader
+            # proposal that justifies them.
+            proposal = msg.proposal
+            if (proposal is None or proposal.iteration != msg.iteration
+                    or proposal.bit != msg.bit
+                    or not self._proposal_valid(proposal)):
+                return
+            self._absorb_certificate(proposal.certificate)
+        self._record_vote(msg.iteration, msg.bit, msg.sender, msg.auth)
+
+    def _record_vote(self, iteration: int, bit: Bit, voter: NodeId,
+                     auth: Any) -> None:
+        votes = self.votes_seen.setdefault((iteration, bit), {})
+        votes.setdefault(voter, auth)
+        if len(votes) >= self.config.threshold:
+            # A quorum of valid votes *is* a certificate, whether or not
+            # the commit condition later holds.
+            self._absorb_certificate(certificate_from_votes(
+                iteration, bit, votes, self.config.threshold))
+
+    def _commit_valid(self, msg: CommitMsg) -> bool:
+        if msg.bit not in (0, 1):
+            return False
+        topic = ("Commit", msg.iteration, msg.bit)
+        if not self.config.authenticator.check(msg.sender, topic, msg.auth):
+            return False
+        certificate = msg.certificate
+        if (certificate is None or certificate.iteration != msg.iteration
+                or certificate.bit != msg.bit):
+            return False
+        return self._check_certificate(certificate, expected_bit=msg.bit)
+
+    def _handle_commit(self, msg: CommitMsg) -> None:
+        if not self._commit_valid(msg):
+            return
+        self._absorb_certificate(msg.certificate)
+        self.commits_seen.setdefault(
+            (msg.iteration, msg.bit), {}).setdefault(msg.sender, msg)
+
+    def _commit_ref_valid(self, commit: CommitMsg) -> bool:
+        """Validity of a certificate-stripped commit inside a Terminate.
+
+        Lemma 15 bounds messages at O(λ(log κ + log n)), so Terminate
+        attaches the λ/2 commits *without* their vote certificates.  The
+        ticket quorum alone is sound: fewer than λ/2 corrupt nodes hold
+        commit tickets (Lemma 11), so the quorum contains an honest
+        committer.
+        """
+        if commit.bit not in (0, 1):
+            return False
+        topic = ("Commit", commit.iteration, commit.bit)
+        return self.config.authenticator.check(commit.sender, topic,
+                                               commit.auth)
+
+    def _handle_terminate(self, msg: TerminateMsg) -> Optional[Tuple[int, Bit]]:
+        if msg.bit not in (0, 1):
+            return None
+        topic = ("Terminate", msg.bit)
+        if not self.config.authenticator.check(msg.sender, topic, msg.auth):
+            return None
+        senders = set()
+        for commit in msg.commits:
+            if (commit.iteration != msg.iteration or commit.bit != msg.bit
+                    or not self._commit_ref_valid(commit)):
+                return None
+            senders.add(commit.sender)
+        if len(senders) < self.config.threshold:
+            return None
+        # Record the quorum so this node's own (relayed) Terminate can
+        # attach it.
+        recorded = self.commits_seen.setdefault((msg.iteration, msg.bit), {})
+        for commit in msg.commits:
+            recorded.setdefault(commit.sender, commit)
+        return (msg.iteration, msg.bit)
+
+    # -- decision ---------------------------------------------------------------
+    def _terminate(self, ctx: RoundContext, iteration: int, bit: Bit) -> None:
+        self.decision = bit
+        self.decision_iteration = iteration
+        self.decide(bit, ctx.round)
+        auth = self.config.authenticator.attempt(
+            self.node_id, ("Terminate", bit))
+        if auth is not None:
+            commits = self.commits_seen.get((iteration, bit), {})
+            # Strip the vote certificates from the attached commits to meet
+            # the O(λ(log κ + log n)) message bound (see _commit_ref_valid).
+            stripped = tuple(
+                CommitMsg(iteration=c.iteration, bit=c.bit, certificate=None,
+                          sender=c.sender, auth=c.auth)
+                for c in sorted(commits.values(), key=lambda c: c.sender)
+                [:self.config.threshold])
+            payload = TerminateMsg(
+                bit=bit,
+                iteration=iteration,
+                commits=stripped,
+                sender=self.node_id,
+                auth=auth,
+            )
+            ctx.multicast(payload)
+        self.halted = True
+
+    # -- phase actions -------------------------------------------------------------
+    def _do_status(self, ctx: RoundContext, iteration: int) -> None:
+        preferred = self._preferred_bit()
+        certificate = self.best_cert[preferred]
+        bit = preferred if certificate is not None else None
+        auth = self.config.authenticator.attempt(
+            self.node_id, ("Status", iteration, bit))
+        if auth is not None:
+            ctx.multicast(StatusMsg(iteration=iteration, bit=bit,
+                                    certificate=certificate,
+                                    sender=self.node_id, auth=auth))
+
+    def _do_propose(self, ctx: RoundContext, iteration: int) -> None:
+        bit = self._preferred_bit()
+        auth = self.config.proposer.attempt(self.node_id, iteration, bit)
+        if auth is not None:
+            proposal = ProposeMsg(iteration=iteration, bit=bit,
+                                  certificate=self.best_cert[bit],
+                                  sender=self.node_id, auth=auth)
+            ctx.multicast(proposal)
+            # A proposer also justifies its own vote with its proposal.
+            self.proposals.setdefault(iteration, []).append(proposal)
+
+    def _choose_vote(self, iteration: int) -> Optional[VoteMsg]:
+        if iteration == 1:
+            bit = self.input_bit
+            auth = self.config.authenticator.attempt(
+                self.node_id, ("Vote", 1, bit))
+            if auth is None:
+                return None
+            return VoteMsg(iteration=1, bit=bit, sender=self.node_id,
+                           auth=auth, proposal=None)
+        acceptable = [
+            proposal for proposal in self.proposals.get(iteration, [])
+            if rank(self.best_cert[other_bit(proposal.bit)])
+            <= rank(proposal.certificate)
+        ]
+        if not acceptable:
+            return None
+        # Prefer the proposal carrying the highest certificate; break ties
+        # deterministically towards bit 0 (any tie-break is sound: an
+        # equal-rank certificate for the other bit never blocks, C.1 Vote).
+        chosen = max(acceptable, key=lambda p: (rank(p.certificate), -p.bit))
+        auth = self.config.authenticator.attempt(
+            self.node_id, ("Vote", iteration, chosen.bit))
+        if auth is None:
+            return None
+        return VoteMsg(iteration=iteration, bit=chosen.bit,
+                       sender=self.node_id, auth=auth, proposal=chosen)
+
+    def _do_vote(self, ctx: RoundContext, iteration: int) -> None:
+        vote = self._choose_vote(iteration)
+        if vote is None:
+            return
+        self.last_vote = vote.bit
+        ctx.multicast(vote)
+        # Count the node's own vote towards its quorums (the network does
+        # not self-deliver).
+        self._record_vote(vote.iteration, vote.bit, self.node_id, vote.auth)
+
+    def _do_commit(self, ctx: RoundContext, iteration: int) -> None:
+        for bit in (0, 1):
+            votes = self.votes_seen.get((iteration, bit), {})
+            opposing = self.votes_seen.get((iteration, other_bit(bit)), {})
+            if len(votes) < self.config.threshold or opposing:
+                continue
+            certificate = certificate_from_votes(
+                iteration, bit, votes, self.config.threshold)
+            self._absorb_certificate(certificate)
+            auth = self.config.authenticator.attempt(
+                self.node_id, ("Commit", iteration, bit))
+            if auth is not None:
+                commit = CommitMsg(iteration=iteration, bit=bit,
+                                   certificate=certificate,
+                                   sender=self.node_id, auth=auth)
+                ctx.multicast(commit)
+                self.commits_seen.setdefault(
+                    (iteration, bit), {}).setdefault(self.node_id, commit)
+
+    # -- main entry point ---------------------------------------------------------
+    def on_round(self, ctx: RoundContext) -> None:
+        iteration, phase = schedule(ctx.round)
+        pending = self._process_inbox(ctx)
+        if pending is not None:
+            self._terminate(ctx, pending[0], pending[1])
+            return
+        if iteration > self.config.max_iterations:
+            self.halted = True
+            return
+        if phase == PHASE_STATUS:
+            self._do_status(ctx, iteration)
+        elif phase == PHASE_PROPOSE:
+            self._do_propose(ctx, iteration)
+        elif phase == PHASE_VOTE:
+            self._do_vote(ctx, iteration)
+        elif phase == PHASE_COMMIT:
+            self._do_commit(ctx, iteration)
+
+    def output(self) -> Optional[Bit]:
+        return self.decision
+
+    def finalize(self) -> Bit:
+        decided = self.output()
+        return decided if decided is not None else self._preferred_bit()

@@ -1,0 +1,191 @@
+"""The Section 3.1 warmup: sticky-flag phase-king BA, tolerating < n/3.
+
+Epochs ``r = 0 .. R-1`` of two synchronous rounds each:
+
+1. **Propose round** — the epoch's leader flips a random coin ``b`` and
+   multicasts ``(propose, r, b)``.
+2. **ACK round** — every node sets ``b* := b_i`` if its sticky flag is 1
+   or no valid leader proposal was heard, else ``b* :=`` the proposal, and
+   multicasts ``(ACK, r, b*)``.
+
+At the start of the next epoch each node tallies the ACKs: on at least
+``2n/3`` ACKs for the same ``b*`` from distinct nodes it sets
+``b_i := b*`` and ``F := 1``, else ``F := 0``.  After ``R = ω(log κ)``
+epochs a node outputs the bit it last ACKed (0 if it never ACKed).
+
+The same node class also runs the Section 3.2 compiled protocol (see
+:mod:`repro.protocols.phase_king_subquadratic`): conditional multicasts,
+``2λ/3`` threshold, and self-elected (mined) proposers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.crypto.groups import SchnorrGroup, TEST_GROUP
+from repro.crypto.registry import IDEAL_MODE, KeyRegistry
+from repro.errors import ConfigurationError
+from repro.protocols.base import (
+    Authenticator,
+    OracleProposerPolicy,
+    ProposerPolicy,
+    ProtocolInstance,
+    SignatureAuthenticator,
+)
+from repro.protocols.messages import AckMsg, PhaseKingProposeMsg
+from repro.rng import Seed
+from repro.sim.leader import LeaderOracle, RoundRobinLeaderOracle
+from repro.sim.node import Node, RoundContext
+from repro.types import Bit, NodeId
+
+DEFAULT_EPOCHS = 20
+
+
+@dataclass
+class PhaseKingConfig:
+    threshold: int
+    authenticator: Authenticator
+    proposer: ProposerPolicy
+    epochs: int
+
+
+def phase_king_rounds(epochs: int) -> int:
+    """Two rounds per epoch plus one final tally round."""
+    return 2 * epochs + 1
+
+
+class PhaseKingNode(Node):
+    """One party of the phase-king protocol (warmup or compiled)."""
+
+    def __init__(self, node_id: NodeId, n: int, input_bit: Bit,
+                 config: PhaseKingConfig) -> None:
+        super().__init__(node_id, n)
+        self.config = config
+        self.belief: Bit = input_bit
+        self.sticky: bool = True  # F = 1 at initialization (footnote 4)
+        self.last_acked: Optional[Bit] = None
+        # (epoch, bit) -> set of distinct ACKers.
+        self.acks_seen: Dict[Tuple[int, Bit], Set[NodeId]] = {}
+        # epoch -> set of valid proposal bits heard.
+        self.proposals_heard: Dict[int, Set[Bit]] = {}
+
+    # -- message intake -----------------------------------------------------
+    def _process_inbox(self, ctx: RoundContext) -> None:
+        for delivery in ctx.inbox:
+            msg = delivery.payload
+            if isinstance(msg, PhaseKingProposeMsg):
+                if msg.bit in (0, 1) and self.config.proposer.check(
+                        msg.sender, msg.epoch, msg.bit, msg.auth):
+                    self.proposals_heard.setdefault(msg.epoch, set()).add(msg.bit)
+            elif isinstance(msg, AckMsg):
+                if msg.bit in (0, 1) and self.config.authenticator.check(
+                        msg.sender, ("ACK", msg.epoch, msg.bit), msg.auth):
+                    self.acks_seen.setdefault(
+                        (msg.epoch, msg.bit), set()).add(msg.sender)
+
+    def _tally(self, epoch: int) -> None:
+        """Step 3: adopt a bit with ample ACKs, else clear the sticky flag."""
+        counts = {bit: len(self.acks_seen.get((epoch, bit), set()))
+                  for bit in (0, 1)}
+        winners = [bit for bit in (0, 1) if counts[bit] >= self.config.threshold]
+        if winners:
+            # Two winners is impossible for f < n/3 (quorum intersection);
+            # break deterministically for out-of-model sweeps.
+            chosen = max(winners, key=lambda bit: (counts[bit], -bit))
+            self.belief = chosen
+            self.sticky = True
+        else:
+            self.sticky = False
+
+    # -- round behaviour --------------------------------------------------------
+    def on_round(self, ctx: RoundContext) -> None:
+        self._process_inbox(ctx)
+        epoch, is_ack_round = divmod(ctx.round, 2)
+        if epoch >= self.config.epochs:
+            # Final tally round: absorb the last epoch's ACKs and stop.
+            self._tally(self.config.epochs - 1)
+            self.decide(self.finalize(), ctx.round)
+            self.halted = True
+            return
+        if not is_ack_round:
+            if epoch > 0:
+                self._tally(epoch - 1)
+            # Propose round: flip the epoch coin and (conditionally) propose.
+            coin: Bit = ctx.rng.randrange(2)
+            auth = self.config.proposer.attempt(self.node_id, epoch, coin)
+            if auth is not None:
+                ctx.multicast(PhaseKingProposeMsg(
+                    epoch=epoch, bit=coin, sender=self.node_id, auth=auth))
+        else:
+            # ACK round: pick b* per step 2 and (conditionally) ACK it.
+            proposals = self.proposals_heard.get(epoch, set())
+            if self.sticky or not proposals:
+                chosen = self.belief
+            else:
+                chosen = min(proposals)  # arbitrary tie-break is allowed
+            # The node's output tracks the bit it *chose* to ACK each epoch
+            # (in the warmup everyone sends, so this equals "last ACK
+            # sent"; in the compiled protocol a node keeps its choice even
+            # when the lottery denies it the right to multicast it).
+            self.last_acked = chosen
+            auth = self.config.authenticator.attempt(
+                self.node_id, ("ACK", epoch, chosen))
+            if auth is not None:
+                ctx.multicast(AckMsg(epoch=epoch, bit=chosen,
+                                     sender=self.node_id, auth=auth))
+                self.acks_seen.setdefault(
+                    (epoch, chosen), set()).add(self.node_id)
+
+    def output(self) -> Optional[Bit]:
+        if not self.halted:
+            return None
+        return self.last_acked if self.last_acked is not None else 0
+
+    def finalize(self) -> Bit:
+        return self.last_acked if self.last_acked is not None else 0
+
+
+def build_phase_king(
+    n: int,
+    f: int,
+    inputs: Sequence[Bit],
+    seed: Seed = 0,
+    epochs: int = DEFAULT_EPOCHS,
+    registry_mode: str = IDEAL_MODE,
+    group: SchnorrGroup = TEST_GROUP,
+    oracle: Optional[LeaderOracle] = None,
+) -> ProtocolInstance:
+    """The warmup of Section 3.1: signed multicasts, 2n/3 quorums."""
+    if len(inputs) != n:
+        raise ConfigurationError("need exactly one input bit per node")
+    if not n > 3 * f:
+        raise ConfigurationError(
+            f"phase-king requires f < n/3: n={n}, f={f}")
+    registry = KeyRegistry(n, registry_mode, group, seed)
+    authenticator = SignatureAuthenticator(registry)
+    leader_oracle = oracle if oracle is not None else RoundRobinLeaderOracle(n)
+    config = PhaseKingConfig(
+        threshold=math.ceil(2 * n / 3),
+        authenticator=authenticator,
+        proposer=OracleProposerPolicy(leader_oracle, authenticator),
+        epochs=epochs,
+    )
+    nodes = [PhaseKingNode(node_id, n, inputs[node_id], config)
+             for node_id in range(n)]
+    return ProtocolInstance(
+        name="phase-king",
+        nodes=nodes,
+        max_rounds=phase_king_rounds(epochs),
+        inputs={i: inputs[i] for i in range(n)},
+        signing_capabilities=[registry.capability_for(i) for i in range(n)],
+        mining_capabilities=[],
+        services={
+            "registry": registry,
+            "authenticator": authenticator,
+            "oracle": leader_oracle,
+            "threshold": config.threshold,
+            "config": config,
+        },
+    )

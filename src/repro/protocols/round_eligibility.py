@@ -1,0 +1,334 @@
+"""The Chen–Micali strawman: round-specific (NOT bit-specific) eligibility.
+
+Section 3.2 describes this design and its flaw: eligibility is determined
+per *round* — ``VRF(ACK, r) < D`` — so a node eligible to ACK bit ``b`` is
+automatically eligible to ACK ``1 - b``.  An adaptive adversary that sees
+an honest node ACK ``b`` can corrupt it immediately and make it ACK
+``1 - b`` **in the same round with the same ticket** (the Remark in
+Section 3.3).  Chen–Micali's defence is the *memory-erasure model*: votes
+are additionally signed with a forward-secure key whose per-epoch secret
+is erased immediately after the vote, so the freshly corrupted node can no
+longer produce a second valid vote for the round.
+
+This module implements the strawman as a phase-king variant with a
+``memory_erasure`` switch, so the experiment E6 can show all three cells:
+
+=====================  ======================  =====================
+protocol               adversary capability    consistency
+=====================  ======================  =====================
+round eligibility      equivocation attack     **broken**
+round + erasure        equivocation attack     holds
+bit-specific (ours)    equivocation attack     holds, *no erasure*
+=====================  ======================  =====================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import hash_objects
+from repro.eligibility.base import EligibilitySource, Topic
+from repro.errors import ConfigurationError, SignatureError
+from repro.protocols.base import Authenticator, ProposerPolicy, ProtocolInstance
+from repro.protocols.phase_king import (
+    DEFAULT_EPOCHS,
+    PhaseKingConfig,
+    PhaseKingNode,
+    phase_king_rounds,
+)
+from repro.protocols.subquadratic_ba import FMINE_MODE, make_eligibility
+from repro.rng import Seed
+from repro.types import Bit, NodeId, SecurityParameters
+
+
+# ---------------------------------------------------------------------------
+# Ideal forward-secure ("ephemeral key") signatures.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EpochSignature:
+    """An unforgeable per-epoch signature token."""
+
+    signer: NodeId
+    epoch: int
+    digest: bytes
+
+
+class EpochSigningCapability:
+    """Evolving signing right: can sign only epochs >= ``current_epoch``.
+
+    :meth:`evolve` is the *memory erasure*: after evolving past epoch
+    ``t``, not even the holder (nor an adversary that corrupts it) can
+    sign for epoch ``t`` — footnote 5's ephemeral keys, idealized.
+    """
+
+    def __init__(self, registry: "EpochKeyRegistry", node_id: NodeId) -> None:
+        self._registry = registry
+        self.node_id = node_id
+        self.current_epoch = 0
+
+    def sign(self, epoch: int, message: Any) -> EpochSignature:
+        if epoch < self.current_epoch:
+            raise SignatureError(
+                f"epoch-{epoch} key was erased (current epoch "
+                f"{self.current_epoch})")
+        return self._registry._sign(self, epoch, message)
+
+    def evolve(self, to_epoch: int) -> None:
+        self.current_epoch = max(self.current_epoch, to_epoch)
+
+
+class EpochKeyRegistry:
+    """Ideal forward-secure signature functionality."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._capabilities = [EpochSigningCapability(self, node)
+                              for node in range(n)]
+        self._issued: set[Tuple[NodeId, int, bytes]] = set()
+
+    def capability_for(self, node_id: NodeId) -> EpochSigningCapability:
+        return self._capabilities[node_id]
+
+    def _sign(self, capability: EpochSigningCapability, epoch: int,
+              message: Any) -> EpochSignature:
+        if capability is not self._capabilities[capability.node_id]:
+            raise SignatureError("counterfeit epoch-signing capability")
+        digest = hash_objects("epoch-sig", capability.node_id, epoch, message)
+        self._issued.add((capability.node_id, epoch, digest))
+        return EpochSignature(signer=capability.node_id, epoch=epoch,
+                              digest=digest)
+
+    def verify(self, node_id: NodeId, epoch: int, message: Any,
+               signature: EpochSignature) -> bool:
+        if not isinstance(signature, EpochSignature):
+            return False
+        if signature.signer != node_id or signature.epoch != epoch:
+            return False
+        expected = hash_objects("epoch-sig", node_id, epoch, message)
+        return (signature.digest == expected
+                and (node_id, epoch, signature.digest) in self._issued)
+
+
+# ---------------------------------------------------------------------------
+# Round-specific eligibility authentication.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RoundAuth:
+    """Ticket for the *round* lottery plus a per-epoch signature that
+    binds the bit (the part erasure protects).
+
+    ``signature`` is an :class:`EpochSignature` in the ideal mode or a
+    :class:`~repro.crypto.forward_secure.ForwardSecureSignature` in the
+    real-crypto mode.
+    """
+
+    ticket: Any
+    signature: Any
+
+
+def _round_topic(topic: Topic) -> Topic:
+    """Strip the bit: ``(kind, epoch, bit)`` → ``(kind, epoch)``.
+
+    This is the strawman's defining flaw — the lottery does not see the
+    bit.
+    """
+    return (topic[0], topic[1])
+
+
+def signing_slot(topic: Topic) -> int:
+    """The forward-secure key slot for a topic.
+
+    Chen–Micali keys evolve per *slot*, one slot per protocol step: the
+    proposal of epoch ``r`` is slot ``2r`` and the ACK is slot ``2r + 1``,
+    so erasing the key after a proposal never disables the same epoch's
+    ACK.
+    """
+    kind, epoch = topic[0], topic[1]
+    return 2 * epoch + (1 if kind == "ACK" else 0)
+
+
+class RoundEligibilityAuthenticator(Authenticator):
+    """ACK auth = round ticket + per-slot signature over the full topic."""
+
+    def __init__(self, source: EligibilitySource,
+                 epoch_registry: EpochKeyRegistry,
+                 memory_erasure: bool) -> None:
+        self.source = source
+        self.epoch_registry = epoch_registry
+        self.memory_erasure = memory_erasure
+
+    def attempt(self, node_id: NodeId, topic: Topic) -> Optional[RoundAuth]:
+        ticket = self.source.capability_for(node_id).try_mine(
+            _round_topic(topic))
+        if ticket is None:
+            return None
+        slot = signing_slot(topic)
+        capability = self.epoch_registry.capability_for(node_id)
+        signature = capability.sign(slot, topic)
+        if self.memory_erasure:
+            # Chen–Micali: erase the slot key immediately after voting.
+            capability.evolve(slot + 1)
+        return RoundAuth(ticket=ticket, signature=signature)
+
+    def check(self, node_id: NodeId, topic: Topic, auth: Any) -> bool:
+        if not isinstance(auth, RoundAuth):
+            return False
+        ticket = auth.ticket
+        if getattr(ticket, "node_id", None) != node_id:
+            return False
+        if getattr(ticket, "topic", None) != _round_topic(topic):
+            return False
+        if not self.source.verify(ticket):
+            return False
+        return self.epoch_registry.verify(node_id, signing_slot(topic), topic,
+                                          auth.signature)
+
+    def capability_of(self, node_id: NodeId):
+        return (self.source.capability_for(node_id),
+                self.epoch_registry.capability_for(node_id))
+
+
+class RealFsEpochRegistry:
+    """Drop-in for :class:`EpochKeyRegistry` using the real Merkle-tree
+    forward-secure scheme of :mod:`repro.crypto.forward_secure`.
+
+    Same capability interface (``sign``/``evolve`` with slot semantics and
+    key erasure), but signatures are genuine Schnorr-under-Merkle-path
+    objects verified against each node's published root.
+    """
+
+    def __init__(self, n: int, max_slots: int, seed, group=None) -> None:
+        from repro.crypto.forward_secure import ForwardSecureKeyPair
+        from repro.crypto.groups import TEST_GROUP
+        from repro.rng import derive_rng
+
+        self.n = n
+        self.max_slots = max_slots
+        self.group = group if group is not None else TEST_GROUP
+        setup_rng = derive_rng(seed, "real-fs-setup")
+        self._keypairs = [
+            ForwardSecureKeyPair(self.group, max_slots, setup_rng)
+            for _ in range(n)
+        ]
+        #: The PKI: each node's Merkle root, public.
+        self.public_roots = [kp.public_root for kp in self._keypairs]
+        self._sign_rng = derive_rng(seed, "real-fs-sign")
+        self._capabilities = [
+            _RealFsCapability(self, node) for node in range(n)]
+
+    def capability_for(self, node_id: NodeId) -> "_RealFsCapability":
+        return self._capabilities[node_id]
+
+    def verify(self, node_id: NodeId, slot: int, message: Any,
+               signature: Any) -> bool:
+        from repro.crypto.forward_secure import (
+            ForwardSecureSignature,
+            verify_forward_secure,
+        )
+        if not isinstance(signature, ForwardSecureSignature):
+            return False
+        if signature.epoch != slot:
+            return False
+        return verify_forward_secure(
+            self.group, self.public_roots[node_id], self.max_slots,
+            message, signature)
+
+
+class _RealFsCapability:
+    """Real-crypto signing capability with slot-erasure semantics."""
+
+    def __init__(self, registry: RealFsEpochRegistry, node_id: NodeId) -> None:
+        self._registry = registry
+        self.node_id = node_id
+
+    @property
+    def current_epoch(self) -> int:
+        return self._registry._keypairs[self.node_id].current_epoch
+
+    def sign(self, slot: int, message: Any):
+        keypair = self._registry._keypairs[self.node_id]
+        return keypair.sign(slot, message, self._registry._sign_rng)
+
+    def evolve(self, to_slot: int) -> None:
+        self._registry._keypairs[self.node_id].evolve(to_slot)
+
+
+class RoundMiningProposerPolicy(ProposerPolicy):
+    """Proposals mined per round (bit chosen after winning — equivocable)."""
+
+    def __init__(self, authenticator: RoundEligibilityAuthenticator) -> None:
+        self.authenticator = authenticator
+
+    def attempt(self, node_id: NodeId, iteration: int,
+                bit: Bit) -> Optional[RoundAuth]:
+        return self.authenticator.attempt(
+            node_id, ("Propose", iteration, bit))
+
+    def check(self, node_id: NodeId, iteration: int, bit: Bit,
+              auth: Any) -> bool:
+        return self.authenticator.check(
+            node_id, ("Propose", iteration, bit), auth)
+
+
+def build_round_eligibility(
+    n: int,
+    f: int,
+    inputs: Sequence[Bit],
+    seed: Seed = 0,
+    params: SecurityParameters = SecurityParameters(),
+    epochs: int = DEFAULT_EPOCHS,
+    memory_erasure: bool = False,
+    mode: str = FMINE_MODE,
+    fs_mode: str = "ideal",
+) -> ProtocolInstance:
+    """Phase-king with round-specific eligibility (± memory erasure).
+
+    ``fs_mode="ideal"`` uses the ideal epoch-key functionality;
+    ``fs_mode="real"`` uses the genuine Merkle-tree forward-secure
+    signature scheme (slower; for small-n validation runs).
+    """
+    if len(inputs) != n:
+        raise ConfigurationError("need exactly one input bit per node")
+    if not n > 3 * f:
+        raise ConfigurationError(f"phase-king requires f < n/3: n={n}, f={f}")
+    eligibility = make_eligibility(n, params, seed, mode)
+    if fs_mode == "ideal":
+        epoch_registry = EpochKeyRegistry(n)
+    elif fs_mode == "real":
+        epoch_registry = RealFsEpochRegistry(
+            n, max_slots=2 * epochs + 2, seed=seed)
+    else:
+        raise ConfigurationError(f"unknown fs_mode {fs_mode!r}")
+    authenticator = RoundEligibilityAuthenticator(
+        eligibility, epoch_registry, memory_erasure)
+    config = PhaseKingConfig(
+        threshold=max(1, math.ceil(2 * params.lam / 3)),
+        authenticator=authenticator,
+        proposer=RoundMiningProposerPolicy(authenticator),
+        epochs=epochs,
+    )
+    nodes = [PhaseKingNode(node_id, n, inputs[node_id], config)
+             for node_id in range(n)]
+    erasure_tag = "erasure" if memory_erasure else "no-erasure"
+    return ProtocolInstance(
+        name=f"round-eligibility[{erasure_tag}]",
+        nodes=nodes,
+        max_rounds=phase_king_rounds(epochs),
+        inputs={i: inputs[i] for i in range(n)},
+        signing_capabilities=[epoch_registry.capability_for(i)
+                              for i in range(n)],
+        mining_capabilities=[eligibility.capability_for(i) for i in range(n)],
+        services={
+            "eligibility": eligibility,
+            "epoch_registry": epoch_registry,
+            "authenticator": authenticator,
+            "threshold": config.threshold,
+            "memory_erasure": memory_erasure,
+            "params": params,
+            "config": config,
+        },
+    )

@@ -1,0 +1,26 @@
+"""Deterministic randomness derivation.
+
+Every random choice in a simulation must be reproducible from a single
+experiment seed.  :func:`derive_rng` derives independent, labelled
+``random.Random`` streams from the master seed so that, e.g., node 7's
+protocol coins, the adversary's choices, and ``Fmine``'s Bernoulli coins
+never share or perturb each other's streams.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+Seed = Union[int, str]
+
+
+def derive_seed(seed: Seed, *labels: object) -> str:
+    """A string seed combining the master seed and a label path."""
+    parts = [str(seed)] + [repr(label) for label in labels]
+    return "\x1f".join(parts)
+
+
+def derive_rng(seed: Seed, *labels: object) -> random.Random:
+    """An independent ``random.Random`` stream for the given label path."""
+    return random.Random(derive_seed(seed, *labels))

@@ -1,0 +1,131 @@
+"""Canonical encoding-size accounting and canonical byte encoding.
+
+The paper's complexity definitions (Definitions 6 and 7) count *bits*
+exchanged or multicast by honest nodes.  To measure them we need a
+deterministic size model for every message object the protocols send.  We
+do not actually ship bytes between simulated nodes (objects are passed by
+reference), but :func:`encoded_size_bits` computes the size a reasonable
+wire encoding would have, and :func:`canonical_bytes` produces a
+deterministic byte string used wherever cryptography needs to hash a
+structured message (VRF inputs, signing, Fiat–Shamir transcripts).
+
+Size model
+----------
+- ``None`` / ``bool``: 8 bits (a tag byte).
+- ``int``: 64 bits for values fitting in a machine word, otherwise the
+  minimal byte length (covers group elements and hash outputs carried as
+  integers).
+- ``bytes`` / ``str``: 32-bit length prefix + contents.
+- ``float``: 64 bits.
+- sequences / sets / dicts: 32-bit length prefix + elements.
+- dataclasses: 32-bit type tag + fields in declaration order.
+- any object exposing ``encoded_size_bits() -> int`` and/or
+  ``canonical_bytes() -> bytes``: delegated to the object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+_WORD_BITS = 64
+_LEN_PREFIX_BITS = 32
+_TAG_BITS = 32
+
+
+def _int_size_bits(value: int) -> int:
+    """Size of an integer: one word, or minimal bytes for big integers."""
+    if -(2**63) <= value < 2**63:
+        return _WORD_BITS
+    return 8 * ((value.bit_length() + 7) // 8)
+
+
+def encoded_size_bits(obj: Any) -> int:
+    """Return the canonical encoded size of ``obj`` in bits.
+
+    Raises ``TypeError`` for objects with no defined size model so that
+    accounting bugs fail loudly instead of silently under-counting.
+    """
+    if obj is None or isinstance(obj, bool):
+        return 8
+    if isinstance(obj, int):
+        return _int_size_bits(obj)
+    if isinstance(obj, float):
+        return _WORD_BITS
+    if isinstance(obj, (bytes, bytearray)):
+        return _LEN_PREFIX_BITS + 8 * len(obj)
+    if isinstance(obj, str):
+        return _LEN_PREFIX_BITS + 8 * len(obj.encode("utf-8"))
+    size_method = getattr(obj, "encoded_size_bits", None)
+    if callable(size_method):
+        return size_method()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _TAG_BITS + sum(
+            encoded_size_bits(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        )
+    if isinstance(obj, (tuple, list)):
+        return _LEN_PREFIX_BITS + sum(encoded_size_bits(item) for item in obj)
+    if isinstance(obj, (set, frozenset)):
+        return _LEN_PREFIX_BITS + sum(encoded_size_bits(item) for item in obj)
+    if isinstance(obj, dict):
+        return _LEN_PREFIX_BITS + sum(
+            encoded_size_bits(key) + encoded_size_bits(value)
+            for key, value in obj.items()
+        )
+    raise TypeError(f"no size model for object of type {type(obj).__name__}")
+
+
+def _canonical_int(value: int) -> bytes:
+    length = max(1, (value.bit_length() + 7) // 8)
+    sign = b"-" if value < 0 else b"+"
+    return sign + abs(value).to_bytes(length, "big")
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Deterministically encode ``obj`` as bytes for hashing.
+
+    The encoding is injective over the types it supports: every value is
+    framed with a type byte and a length, so distinct structures cannot
+    collide.  It is *not* meant to be a wire format — only a stable input
+    for hash functions.
+    """
+    if obj is None:
+        return b"N"
+    if isinstance(obj, bool):
+        return b"B1" if obj else b"B0"
+    if isinstance(obj, int):
+        body = _canonical_int(obj)
+        return b"I" + len(body).to_bytes(4, "big") + body
+    if isinstance(obj, float):
+        body = repr(obj).encode("ascii")
+        return b"F" + len(body).to_bytes(4, "big") + body
+    if isinstance(obj, (bytes, bytearray)):
+        return b"Y" + len(obj).to_bytes(4, "big") + bytes(obj)
+    if isinstance(obj, str):
+        body = obj.encode("utf-8")
+        return b"S" + len(body).to_bytes(4, "big") + body
+    bytes_method = getattr(obj, "canonical_bytes", None)
+    if callable(bytes_method):
+        body = bytes_method()
+        return b"O" + len(body).to_bytes(4, "big") + body
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        tag = type(obj).__name__.encode("ascii")
+        parts = [canonical_bytes(getattr(obj, field.name))
+                 for field in dataclasses.fields(obj)]
+        body = b"".join(parts)
+        return (b"D" + len(tag).to_bytes(2, "big") + tag
+                + len(parts).to_bytes(4, "big") + body)
+    if isinstance(obj, (tuple, list)):
+        parts = [canonical_bytes(item) for item in obj]
+        return b"T" + len(parts).to_bytes(4, "big") + b"".join(parts)
+    if isinstance(obj, (set, frozenset)):
+        parts = sorted(canonical_bytes(item) for item in obj)
+        return b"E" + len(parts).to_bytes(4, "big") + b"".join(parts)
+    if isinstance(obj, dict):
+        parts = sorted(
+            canonical_bytes(key) + canonical_bytes(value)
+            for key, value in obj.items()
+        )
+        return b"M" + len(parts).to_bytes(4, "big") + b"".join(parts)
+    raise TypeError(f"no canonical encoding for type {type(obj).__name__}")

@@ -1,0 +1,159 @@
+"""The synchronous execution engine (Appendix A.1).
+
+One :class:`Simulation` owns the nodes, the network, the corruption
+controller, the metrics, and the adversary, and drives the round loop:
+
+1. **Deliver** the previous round's surviving messages to every node.
+2. **Honest step**: each so-far-honest, non-halted node processes its
+   inbox and stages its outgoing messages (which immediately count as
+   sent — they cannot be un-sent except by after-the-fact removal).
+3. **Adversary step (rushing)**: the adversary observes everything staged
+   this round, may adaptively corrupt nodes (receiving their revealed
+   state and capabilities), may inject same-round messages from corrupt
+   nodes, and — under the strongly adaptive model only — may remove staged
+   messages of newly corrupted senders.
+
+The loop ends when every so-far-honest node has halted or the round limit
+is reached, after which outputs are finalized (undecided nodes fall back
+to their protocol's default, as in the Theorem 4 termination convention).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.rng import Seed, derive_rng
+from repro.sim.adversary import Adversary, AdversaryApi, PassiveAdversary
+from repro.sim.corruption import CorruptionController, CorruptionGrant
+from repro.sim.metrics import CommunicationMetrics
+from repro.sim.network import Envelope, SynchronousNetwork
+from repro.sim.node import Node, RoundContext
+from repro.sim.result import ExecutionResult
+from repro.types import AdversaryModel, Bit, NodeId, Round
+
+
+class Simulation:
+    """A single protocol execution against one adversary."""
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        corruption_budget: int,
+        model: AdversaryModel = AdversaryModel.ADAPTIVE,
+        adversary: Optional[Adversary] = None,
+        max_rounds: int = 1000,
+        seed: Seed = 0,
+        inputs: Optional[Dict[NodeId, Bit]] = None,
+        signing_capabilities: Optional[Sequence] = None,
+        mining_capabilities: Optional[Sequence] = None,
+    ) -> None:
+        if not nodes:
+            raise SimulationError("need at least one node")
+        self.nodes = list(nodes)
+        self.n = len(nodes)
+        self.network = SynchronousNetwork(self.n)
+        self.controller = CorruptionController(self.n, corruption_budget, model)
+        self.metrics = CommunicationMetrics(n=self.n)
+        self.adversary = adversary if adversary is not None else PassiveAdversary()
+        self.max_rounds = max_rounds
+        self.seed = seed
+        self.inputs = dict(inputs or {})
+        self.current_round: Round = -1
+        self._signing_capabilities = list(signing_capabilities or [])
+        self._mining_capabilities = list(mining_capabilities or [])
+        self._node_rngs: Dict[NodeId, random.Random] = {}
+        self._api = AdversaryApi(self)
+        self._ran = False
+
+    # -- services used by the adversary API ---------------------------------
+    def rng_for_node(self, node_id: NodeId) -> random.Random:
+        if node_id not in self._node_rngs:
+            self._node_rngs[node_id] = derive_rng(self.seed, "node", node_id)
+        return self._node_rngs[node_id]
+
+    def perform_corruption(self, node_id: NodeId) -> CorruptionGrant:
+        controller = self.controller
+        if controller.is_corrupt(node_id):
+            raise SimulationError(f"node {node_id} is already corrupt")
+        controller.authorize(node_id, self.current_round)
+        controller.mark_corrupt(node_id, self.current_round)
+        node = self.nodes[node_id]
+        signing = (self._signing_capabilities[node_id]
+                   if node_id < len(self._signing_capabilities) else None)
+        mining = (self._mining_capabilities[node_id]
+                  if node_id < len(self._mining_capabilities) else None)
+        return CorruptionGrant(
+            node_id=node_id,
+            round=self.current_round,
+            node=node,
+            revealed_state=node.reveal_state(),
+            signing_capability=signing,
+            mining_capability=mining,
+        )
+
+    def stage_adversarial(self, sender: NodeId, recipient: Optional[NodeId],
+                          payload) -> Envelope:
+        envelope = self.network.stage(
+            sender, recipient, payload,
+            round_sent=max(self.current_round, 0), honest_sender=False)
+        self.metrics.record(envelope)
+        return envelope
+
+    # -- the round loop ------------------------------------------------------
+    def _honest_step(self, round_index: Round, inboxes) -> None:
+        for node in self.nodes:
+            node_id = node.node_id
+            if self.controller.is_corrupt(node_id) or node.halted:
+                continue
+            ctx = RoundContext(node_id, round_index, inboxes[node_id],
+                               self.rng_for_node(node_id))
+            node.on_round(ctx)
+            for recipient, payload in ctx.staged:
+                envelope = self.network.stage(
+                    node_id, recipient, payload, round_index,
+                    honest_sender=True)
+                self.metrics.record(envelope)
+
+    def _all_honest_halted(self) -> bool:
+        return all(node.halted or self.controller.is_corrupt(node.node_id)
+                   for node in self.nodes)
+
+    def run(self) -> ExecutionResult:
+        if self._ran:
+            raise SimulationError("a Simulation instance runs exactly once")
+        self._ran = True
+
+        # Setup phase (round -1): static adversaries corrupt here.
+        self.adversary.bind(self._api)
+
+        rounds_executed = 0
+        for round_index in range(self.max_rounds):
+            self.current_round = round_index
+            inboxes = self.network.deliver()
+            self.adversary.observe_deliveries(round_index, inboxes)
+            self._honest_step(round_index, inboxes)
+            self.adversary.react(round_index, self.network.in_flight())
+            rounds_executed = round_index + 1
+            if self._all_honest_halted():
+                break
+
+        outputs: Dict[NodeId, Bit] = {}
+        decided_rounds: Dict[NodeId, Optional[Round]] = {}
+        for node in self.nodes:
+            if self.controller.is_corrupt(node.node_id):
+                continue
+            outputs[node.node_id] = node.finalize()
+            decided_rounds[node.node_id] = node.decided_round
+        return ExecutionResult(
+            n=self.n,
+            corruption_budget=self.controller.budget,
+            corrupt_set=set(self.controller.corrupt_set),
+            rounds_executed=rounds_executed,
+            outputs=outputs,
+            decided_rounds=decided_rounds,
+            metrics=self.metrics,
+            inputs=dict(self.inputs),
+            transcript=list(self.network.transcript),
+        )

@@ -1,0 +1,56 @@
+"""Idealized leader-election oracles.
+
+The warmup protocols (Section 3.1 and Appendix C.1) assume "a random
+leader election oracle that elects and announces a random leader at the
+beginning of every epoch".  The subquadratic protocols *remove* this
+oracle, replacing it with VRF-based self-election; these classes exist so
+the warmups can be run and compared exactly as the paper describes them.
+
+The oracle's announcement is public: the adaptive adversary learns the
+leader at the start of the epoch (and may immediately corrupt it), which
+is precisely the weakness the VRF construction fixes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.rng import Seed, derive_rng
+from repro.types import NodeId
+
+
+class LeaderOracle(abc.ABC):
+    """Announces one leader per epoch/iteration."""
+
+    @abc.abstractmethod
+    def leader(self, epoch: int) -> NodeId:
+        """The (publicly known) leader of the given epoch."""
+
+
+class RoundRobinLeaderOracle(LeaderOracle):
+    """Leader of epoch r is node ``r mod n`` (Section 3.1's "node r")."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def leader(self, epoch: int) -> NodeId:
+        return epoch % self.n
+
+
+class RandomLeaderOracle(LeaderOracle):
+    """A uniformly random leader each epoch, deterministic per seed.
+
+    Memoized so that every node (and the adversary) sees the same
+    announcement for a given epoch.
+    """
+
+    def __init__(self, n: int, seed: Seed) -> None:
+        self.n = n
+        self._seed = seed
+        self._announced: dict[int, NodeId] = {}
+
+    def leader(self, epoch: int) -> NodeId:
+        if epoch not in self._announced:
+            rng = derive_rng(self._seed, "leader-oracle", epoch)
+            self._announced[epoch] = rng.randrange(self.n)
+        return self._announced[epoch]

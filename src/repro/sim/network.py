@@ -1,0 +1,120 @@
+"""Synchronous message transport with per-recipient suppression.
+
+Messages staged in round ``r`` are delivered at the beginning of round
+``r + 1`` (``∆ = 1``, the model of Appendix B "Model for our lower
+bound").  The network supports the one non-standard operation the paper's
+strongly adaptive adversary needs: *after-the-fact removal*, i.e. erasing
+a staged message for some or all recipients before it is delivered.  The
+engine only exposes that operation when the adversary model permits it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.types import NodeId, Round
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One send operation: a unicast (``recipient`` set) or a multicast."""
+
+    envelope_id: int
+    sender: NodeId
+    recipient: Optional[NodeId]
+    payload: Any
+    round_sent: Round
+    honest_sender: bool
+
+    @property
+    def is_multicast(self) -> bool:
+        return self.recipient is None
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """A message as seen by its recipient (channel-authenticated sender)."""
+
+    sender: NodeId
+    payload: Any
+
+
+class SynchronousNetwork:
+    """Stages envelopes during a round and delivers them the next round."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise SimulationError("network needs at least one node")
+        self.n = n
+        self._next_envelope_id = 0
+        self._staged: List[Envelope] = []
+        self._suppressed: Set[Tuple[int, NodeId]] = set()
+        self._delivered_round: Round = -1
+        #: Full transcript of every envelope ever staged, for analysis.
+        self.transcript: List[Envelope] = []
+
+    def stage(self, sender: NodeId, recipient: Optional[NodeId], payload: Any,
+              round_sent: Round, honest_sender: bool) -> Envelope:
+        """Record a send; the message leaves the sender immediately."""
+        if recipient is not None and not 0 <= recipient < self.n:
+            raise SimulationError(f"recipient {recipient} out of range")
+        envelope = Envelope(
+            envelope_id=self._next_envelope_id,
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            round_sent=round_sent,
+            honest_sender=honest_sender,
+        )
+        self._next_envelope_id += 1
+        self._staged.append(envelope)
+        self.transcript.append(envelope)
+        return envelope
+
+    def suppress(self, envelope: Envelope, recipient: Optional[NodeId] = None) -> None:
+        """After-the-fact removal of a staged message.
+
+        ``recipient=None`` removes every copy of the envelope; otherwise
+        only the copy addressed to ``recipient`` is erased.  Only envelopes
+        still in flight (staged this round, not yet delivered) can be
+        suppressed — one cannot rewrite history.
+        """
+        if envelope not in self._staged:
+            raise SimulationError(
+                "cannot suppress a message that is not in flight")
+        if recipient is None:
+            for node in range(self.n):
+                self._suppressed.add((envelope.envelope_id, node))
+        else:
+            self._suppressed.add((envelope.envelope_id, recipient))
+
+    def in_flight(self) -> List[Envelope]:
+        """Envelopes staged this round (the rushing adversary's view)."""
+        return list(self._staged)
+
+    def is_suppressed(self, envelope: Envelope, recipient: NodeId) -> bool:
+        return (envelope.envelope_id, recipient) in self._suppressed
+
+    def deliver(self) -> Dict[NodeId, List[Delivery]]:
+        """Deliver all staged messages and start a new staging window.
+
+        Delivery order is deterministic: envelopes sorted by id (send
+        order), so repeated runs replay exactly.
+        """
+        inboxes: Dict[NodeId, List[Delivery]] = {node: [] for node in range(self.n)}
+        for envelope in sorted(self._staged, key=lambda e: e.envelope_id):
+            recipients = (range(self.n) if envelope.is_multicast
+                          else [envelope.recipient])
+            for recipient in recipients:
+                if recipient == envelope.sender:
+                    continue
+                if self.is_suppressed(envelope, recipient):
+                    continue
+                inboxes[recipient].append(
+                    Delivery(sender=envelope.sender, payload=envelope.payload))
+        self._staged = []
+        self._suppressed = set()
+        self._delivered_round += 1
+        return inboxes

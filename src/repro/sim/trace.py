@@ -1,0 +1,85 @@
+"""Execution-trace analysis.
+
+The network records every envelope ever staged; this module turns that
+transcript into the quantities the paper's arguments are about:
+
+- the **speaker set** — how many distinct nodes ever multicast.  Theorem 2
+  implies it is sublinear for the compiled protocols, and the Theorem 4
+  adversary's corruption bill is exactly this number;
+- per-round and per-kind message counts (which phase of which iteration
+  dominates the communication);
+- per-topic committees (who won which lottery), for validating the
+  Lemma 11 counting against a live execution rather than an isolated
+  Monte-Carlo draw.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Set, Tuple
+
+from repro.sim.network import Envelope
+from repro.types import NodeId, Round
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate statistics of one execution's transcript."""
+
+    honest_speakers: Set[NodeId] = field(default_factory=set)
+    corrupt_speakers: Set[NodeId] = field(default_factory=set)
+    multicasts_per_round: Dict[Round, int] = field(default_factory=dict)
+    messages_by_kind: Counter = field(default_factory=Counter)
+    total_envelopes: int = 0
+
+    @property
+    def speaker_count(self) -> int:
+        """Distinct honest multicasters — the Theorem 4 corruption bill."""
+        return len(self.honest_speakers)
+
+
+def _payload_kind(payload) -> str:
+    kind = getattr(payload, "__class__", type(payload)).__name__
+    return kind
+
+
+def summarize_transcript(transcript: Sequence[Envelope]) -> TraceSummary:
+    """Fold a transcript into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    for envelope in transcript:
+        summary.total_envelopes += 1
+        if envelope.is_multicast:
+            if envelope.honest_sender:
+                summary.honest_speakers.add(envelope.sender)
+            else:
+                summary.corrupt_speakers.add(envelope.sender)
+            per_round = summary.multicasts_per_round
+            per_round[envelope.round_sent] = (
+                per_round.get(envelope.round_sent, 0) + 1)
+        summary.messages_by_kind[_payload_kind(envelope.payload)] += 1
+    return summary
+
+
+def committee_per_topic(transcript: Sequence[Envelope]
+                        ) -> Dict[Tuple, Set[NodeId]]:
+    """Who spoke for each eligibility topic, from the live transcript.
+
+    Reads the ``auth`` attribute of protocol messages (tickets expose
+    their topic); signature-authenticated messages are skipped.
+    """
+    committees: Dict[Tuple, Set[NodeId]] = {}
+    for envelope in transcript:
+        auth = getattr(envelope.payload, "auth", None)
+        topic = getattr(auth, "topic", None)
+        node = getattr(auth, "node_id", None)
+        if topic is not None and node is not None:
+            committees.setdefault(topic, set()).add(node)
+    return committees
+
+
+def peak_round_multicasts(summary: TraceSummary) -> int:
+    """The busiest round's honest+corrupt multicast count."""
+    if not summary.multicasts_per_round:
+        return 0
+    return max(summary.multicasts_per_round.values())

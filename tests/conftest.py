@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.groups import TEST_GROUP
+from repro.types import SecurityParameters
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xDECAF)
+
+
+@pytest.fixture
+def group():
+    return TEST_GROUP
+
+
+@pytest.fixture
+def params() -> SecurityParameters:
+    return SecurityParameters(lam=30, epsilon=0.1)
+
+
+def mixed_inputs(n: int) -> list:
+    return [i % 2 for i in range(n)]

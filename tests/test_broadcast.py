@@ -1,0 +1,114 @@
+"""Tests for the Byzantine Broadcast reduction (Section 1.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import run_instance
+from repro.protocols import (
+    build_broadcast_from_ba,
+    build_phase_king_subquadratic,
+    build_quadratic_ba,
+    build_subquadratic_ba,
+)
+from repro.protocols.broadcast import SenderInputMsg
+from repro.sim.adversary import Adversary
+from repro.types import SecurityParameters
+
+PARAMS = SecurityParameters(lam=30, epsilon=0.1)
+
+
+class EquivocatingSender(Adversary):
+    """Corrupt sender announces 0 to even nodes and 1 to odd nodes."""
+
+    def on_setup(self):
+        self.api.corrupt(0)
+
+    def react(self, round_index, staged):
+        if round_index != 0:
+            return
+        for node in range(1, self.api.n):
+            bit = node % 2
+            self.api.inject(0, node, SenderInputMsg(bit=bit, sender=0))
+
+
+class TestBroadcastValidity:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_honest_sender_quadratic(self, bit):
+        n, f = 9, 4
+        instance = build_broadcast_from_ba(
+            build_quadratic_ba, n=n, f=f, sender_input=bit)
+        result = run_instance(instance, f, seed=0)
+        assert result.broadcast_valid(0, bit)
+        assert set(result.honest_outputs) == {bit}
+
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_honest_sender_subquadratic(self, bit):
+        n, f = 150, 45
+        instance = build_broadcast_from_ba(
+            build_subquadratic_ba, n=n, f=f, sender_input=bit, params=PARAMS)
+        result = run_instance(instance, f, seed=0)
+        assert result.broadcast_valid(0, bit)
+
+    def test_phase_king_inner_protocol(self):
+        n, f = 120, 25
+        instance = build_broadcast_from_ba(
+            build_phase_king_subquadratic, n=n, f=f, sender_input=1,
+            params=PARAMS, epochs=6)
+        result = run_instance(instance, f, seed=0)
+        assert set(result.honest_outputs) == {1}
+
+    def test_rejects_non_bit_input(self):
+        with pytest.raises(ConfigurationError):
+            build_broadcast_from_ba(build_quadratic_ba, n=5, f=2,
+                                    sender_input=7)
+
+
+class TestEquivocatingSender:
+    def test_consistency_enforced_by_inner_ba(self):
+        """The reduction's value: even a corrupt, equivocating sender
+        cannot split honest outputs — BA consistency takes over."""
+        n, f = 9, 4
+        instance = build_broadcast_from_ba(
+            build_quadratic_ba, n=n, f=f, sender_input=1)
+        result = run_instance(instance, f, EquivocatingSender(), seed=1)
+        assert result.consistent()
+
+    def test_broadcast_validity_vacuous_for_corrupt_sender(self):
+        n, f = 9, 4
+        instance = build_broadcast_from_ba(
+            build_quadratic_ba, n=n, f=f, sender_input=1)
+        result = run_instance(instance, f, EquivocatingSender(), seed=1)
+        assert result.broadcast_valid(0, 1)  # vacuously: sender corrupt
+
+
+class TestWrapperMechanics:
+    def test_adds_exactly_one_round(self):
+        n, f = 9, 4
+        ba = build_quadratic_ba(n, f, [1] * n)
+        bb = build_broadcast_from_ba(build_quadratic_ba, n=n, f=f,
+                                     sender_input=1)
+        assert bb.max_rounds == ba.max_rounds + 1
+
+    def test_silent_sender_defaults(self):
+        """If the (corrupt) sender says nothing, honest nodes run BA on
+        the default input and still agree."""
+        class SilentSender(Adversary):
+            def on_setup(self):
+                self.api.corrupt(0)
+
+            def react(self, round_index, staged):
+                return None
+
+        n, f = 9, 4
+        instance = build_broadcast_from_ba(
+            build_quadratic_ba, n=n, f=f, sender_input=1, default_input=0)
+        result = run_instance(instance, f, SilentSender(), seed=2)
+        assert result.consistent()
+        assert set(result.honest_outputs) == {0}
+
+    def test_inner_state_revealed_on_corruption(self):
+        n, f = 9, 4
+        instance = build_broadcast_from_ba(
+            build_quadratic_ba, n=n, f=f, sender_input=1)
+        state = instance.nodes[3].reveal_state()
+        assert "inner_state" in state

@@ -1,0 +1,103 @@
+"""Tests for certificates and their ranking."""
+
+from repro.protocols.certificates import (
+    Certificate,
+    GENESIS_RANK,
+    certificate_from_votes,
+    rank,
+    verify_certificate,
+)
+from repro.protocols.messages import SignedVote
+
+
+def _votes(iteration, bit, voters):
+    return {voter: f"auth-{voter}" for voter in voters}
+
+
+def _accept_all(vote: SignedVote) -> bool:
+    return True
+
+
+def _reject_all(vote: SignedVote) -> bool:
+    return False
+
+
+class TestRanking:
+    def test_none_is_genesis_rank(self):
+        assert rank(None) == GENESIS_RANK == 0
+
+    def test_rank_is_iteration(self):
+        certificate = certificate_from_votes(3, 1, _votes(3, 1, [0, 1]), 2)
+        assert rank(certificate) == 3
+
+    def test_higher_iteration_outranks(self):
+        low = certificate_from_votes(2, 0, _votes(2, 0, [0, 1]), 2)
+        high = certificate_from_votes(5, 1, _votes(5, 1, [0, 1]), 2)
+        assert rank(high) > rank(low) > rank(None)
+
+
+class TestConstruction:
+    def test_takes_exactly_threshold_votes(self):
+        certificate = certificate_from_votes(
+            1, 0, _votes(1, 0, range(10)), threshold=4)
+        assert len(certificate.votes) == 4
+
+    def test_votes_are_canonically_ordered(self):
+        certificate = certificate_from_votes(
+            1, 0, {5: "a", 2: "b", 9: "c"}, threshold=3)
+        assert [v.voter for v in certificate.votes] == [2, 5, 9]
+
+    def test_votes_carry_iteration_and_bit(self):
+        certificate = certificate_from_votes(7, 1, _votes(7, 1, [3, 4]), 2)
+        assert all(v.iteration == 7 and v.bit == 1
+                   for v in certificate.votes)
+
+
+class TestVerification:
+    def test_valid_certificate_accepted(self):
+        certificate = certificate_from_votes(1, 0, _votes(1, 0, range(3)), 3)
+        assert verify_certificate(certificate, 3, _accept_all)
+
+    def test_too_few_votes_rejected(self):
+        certificate = certificate_from_votes(1, 0, _votes(1, 0, range(2)), 2)
+        assert not verify_certificate(certificate, 3, _accept_all)
+
+    def test_duplicate_voters_rejected(self):
+        vote = SignedVote(iteration=1, bit=0, voter=4, auth="a")
+        certificate = Certificate(iteration=1, bit=0,
+                                  votes=(vote, vote, vote))
+        assert not verify_certificate(certificate, 2, _accept_all)
+
+    def test_mismatched_vote_bit_rejected(self):
+        good = SignedVote(iteration=1, bit=0, voter=1, auth="a")
+        bad = SignedVote(iteration=1, bit=1, voter=2, auth="b")
+        certificate = Certificate(iteration=1, bit=0, votes=(good, bad))
+        assert not verify_certificate(certificate, 2, _accept_all)
+
+    def test_mismatched_vote_iteration_rejected(self):
+        good = SignedVote(iteration=1, bit=0, voter=1, auth="a")
+        stale = SignedVote(iteration=2, bit=0, voter=2, auth="b")
+        certificate = Certificate(iteration=1, bit=0, votes=(good, stale))
+        assert not verify_certificate(certificate, 2, _accept_all)
+
+    def test_bad_auth_rejected(self):
+        certificate = certificate_from_votes(1, 0, _votes(1, 0, range(3)), 3)
+        assert not verify_certificate(certificate, 3, _reject_all)
+
+    def test_iteration_zero_certificate_rejected(self):
+        """Only the implicit None represents the genesis certificate."""
+        certificate = Certificate(iteration=0, bit=0, votes=())
+        assert not verify_certificate(certificate, 0, _accept_all)
+
+    def test_non_bit_rejected(self):
+        certificate = Certificate(iteration=1, bit=7, votes=())
+        assert not verify_certificate(certificate, 0, _accept_all)
+
+    def test_single_bad_vote_poisons_certificate(self):
+        votes = _votes(1, 0, range(4))
+        certificate = certificate_from_votes(1, 0, votes, 4)
+
+        def check(vote):
+            return vote.voter != 2
+
+        assert not verify_certificate(certificate, 4, check)

@@ -1,0 +1,96 @@
+"""Tests for the CLI and the trace-analysis helpers."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness import run_instance
+from repro.protocols import build_quadratic_ba, build_subquadratic_ba
+from repro.sim.trace import (
+    committee_per_topic,
+    peak_round_multicasts,
+    summarize_transcript,
+)
+from repro.types import SecurityParameters
+
+
+class TestTraceAnalysis:
+    def _result(self):
+        n, f = 120, 30
+        params = SecurityParameters(lam=20, epsilon=0.1)
+        instance = build_subquadratic_ba(n, f, [1] * n, seed=0, params=params)
+        return run_instance(instance, f, seed=0), n
+
+    def test_speaker_count_is_sublinear(self):
+        result, n = self._result()
+        summary = summarize_transcript(result.transcript)
+        assert 0 < summary.speaker_count < n
+
+    def test_speaker_count_matches_metrics_loosely(self):
+        result, _n = self._result()
+        summary = summarize_transcript(result.transcript)
+        assert (summary.speaker_count
+                <= result.metrics.multicast_complexity_messages)
+
+    def test_kinds_are_protocol_messages(self):
+        result, _n = self._result()
+        summary = summarize_transcript(result.transcript)
+        assert "VoteMsg" in summary.messages_by_kind
+        assert "CommitMsg" in summary.messages_by_kind
+
+    def test_committee_per_topic_reads_tickets(self):
+        result, _n = self._result()
+        committees = committee_per_topic(result.transcript)
+        vote_topics = [t for t in committees if t[0] == "Vote"]
+        assert vote_topics
+        for topic in vote_topics:
+            assert committees[topic]
+
+    def test_peak_round(self):
+        result, _n = self._result()
+        summary = summarize_transcript(result.transcript)
+        assert peak_round_multicasts(summary) >= 1
+        assert peak_round_multicasts(summarize_transcript([])) == 0
+
+    def test_quadratic_speakers_are_everyone(self):
+        n, f = 11, 5
+        instance = build_quadratic_ba(n, f, [1] * n, seed=0)
+        result = run_instance(instance, f, seed=0)
+        summary = summarize_transcript(result.transcript)
+        assert summary.speaker_count == n
+
+
+class TestCli:
+    def test_run_subquadratic(self, capsys):
+        code = main(["run", "--protocol", "subquadratic", "-n", "100",
+                     "-f", "25", "--adversary", "crash", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "consistent:          True" in out
+        assert "distinct speakers:" in out
+
+    def test_run_quadratic_equivocate(self, capsys):
+        code = main(["run", "--protocol", "quadratic", "-n", "9", "-f", "4",
+                     "--adversary", "equivocate", "--input", "ones"])
+        assert code == 0
+        assert "quadratic-ba" in capsys.readouterr().out
+
+    def test_experiment_command(self, capsys):
+        code = main(["experiment", "E2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Dolev–Reischuk" in out
+
+    def test_params_command(self, capsys):
+        code = main(["params", "-n", "1000", "--corrupt", "0.25",
+                     "--target", "1e-6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chosen λ:" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "E99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

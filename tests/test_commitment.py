@@ -1,0 +1,85 @@
+"""Tests for commitment schemes."""
+
+import pytest
+
+from repro.crypto.commitment import (
+    ElGamalCommitmentScheme,
+    HashCommitment,
+)
+
+
+class TestHashCommitment:
+    def test_roundtrip(self):
+        commitment = HashCommitment.commit(b"value", b"r" * 16)
+        assert commitment.open(b"value", b"r" * 16)
+
+    def test_wrong_value_rejected(self):
+        commitment = HashCommitment.commit(b"value", b"r" * 16)
+        assert not commitment.open(b"other", b"r" * 16)
+
+    def test_wrong_randomness_rejected(self):
+        commitment = HashCommitment.commit(b"value", b"r" * 16)
+        assert not commitment.open(b"value", b"s" * 16)
+
+    def test_short_randomness_rejected(self):
+        with pytest.raises(ValueError):
+            HashCommitment.commit(b"v", b"short")
+
+    def test_open_with_short_randomness_is_false(self):
+        commitment = HashCommitment.commit(b"v", b"r" * 16)
+        assert not commitment.open(b"v", b"tiny")
+
+    def test_hiding_structure(self):
+        # Different randomness -> different commitment to the same value.
+        c1 = HashCommitment.commit(b"v", b"r" * 16)
+        c2 = HashCommitment.commit(b"v", b"s" * 16)
+        assert c1 != c2
+
+
+class TestElGamalCommitment:
+    def test_roundtrip(self, group, rng):
+        scheme = ElGamalCommitmentScheme(group)
+        value = group.random_scalar(rng)
+        commitment, randomness = scheme.commit_random(value, rng)
+        assert scheme.open(commitment, value, randomness)
+
+    def test_wrong_value_rejected(self, group, rng):
+        scheme = ElGamalCommitmentScheme(group)
+        value = group.random_scalar(rng)
+        commitment, randomness = scheme.commit_random(value, rng)
+        assert not scheme.open(commitment, (value + 1) % group.q, randomness)
+
+    def test_wrong_randomness_rejected(self, group, rng):
+        scheme = ElGamalCommitmentScheme(group)
+        value = group.random_scalar(rng)
+        commitment, randomness = scheme.commit_random(value, rng)
+        assert not scheme.open(commitment, value, (randomness + 1) % group.q)
+
+    def test_perfectly_binding_search(self, group, rng):
+        """No second opening exists (exhaustive over a small window)."""
+        scheme = ElGamalCommitmentScheme(group)
+        value = 1234
+        commitment = scheme.commit(value, 777)
+        for other_value in range(1, 50):
+            for other_rand in range(1, 50):
+                if (other_value, other_rand) == (value % group.q, 777):
+                    continue
+                assert not scheme.open(commitment, other_value, other_rand)
+
+    def test_components_are_group_elements(self, group, rng):
+        scheme = ElGamalCommitmentScheme(group)
+        commitment, _ = scheme.commit_random(group.random_scalar(rng), rng)
+        assert scheme.is_well_formed(commitment)
+
+    def test_rejects_invalid_scalars(self, group):
+        scheme = ElGamalCommitmentScheme(group)
+        with pytest.raises(ValueError):
+            scheme.commit(group.q, 1)
+        with pytest.raises(ValueError):
+            scheme.commit(1, 0)
+
+    def test_hiding_structure(self, group, rng):
+        scheme = ElGamalCommitmentScheme(group)
+        c1 = scheme.commit(42, group.random_scalar(rng))
+        c2 = scheme.commit(42, group.random_scalar(rng))
+        assert c1 != c2

@@ -1,0 +1,58 @@
+"""Tests for the difficulty schedule (D and D0)."""
+
+import pytest
+
+from repro.crypto.vrf import VRF_OUTPUT_BITS
+from repro.eligibility.difficulty import DifficultySchedule
+from repro.errors import ConfigurationError
+from repro.types import SecurityParameters
+
+
+class TestDifficultySchedule:
+    def test_committee_kinds_get_lambda_over_n(self):
+        params = SecurityParameters(lam=40)
+        schedule = DifficultySchedule.for_parameters(params, 400)
+        for kind in ("Status", "Vote", "Commit", "Terminate", "ACK"):
+            assert schedule.probability((kind, 3, 1)) == pytest.approx(0.1)
+
+    def test_propose_gets_one_over_2n(self):
+        schedule = DifficultySchedule.for_parameters(SecurityParameters(), 100)
+        assert schedule.probability(("Propose", 3, 1)) == pytest.approx(1 / 200)
+
+    def test_unknown_kind_raises(self):
+        schedule = DifficultySchedule.for_parameters(SecurityParameters(), 100)
+        with pytest.raises(ConfigurationError):
+            schedule.probability(("Gossip", 1, 0))
+
+    def test_malformed_topic_raises(self):
+        schedule = DifficultySchedule.for_parameters(SecurityParameters(), 100)
+        with pytest.raises(ConfigurationError):
+            schedule.probability(())
+        with pytest.raises(ConfigurationError):
+            schedule.probability((42, 1, 0))
+
+    def test_threshold_matches_probability(self):
+        schedule = DifficultySchedule.for_parameters(
+            SecurityParameters(lam=40), 400)
+        threshold = schedule.threshold(("Vote", 1, 0))
+        assert threshold == int(0.1 * (1 << VRF_OUTPUT_BITS))
+
+    def test_always_schedule_is_certain(self):
+        schedule = DifficultySchedule.always()
+        assert schedule.probability(("Vote", 1, 0)) == 1.0
+        assert schedule.probability(("Propose", 1, 0)) == 1.0
+
+    def test_rejects_zero_probability(self):
+        with pytest.raises(ConfigurationError):
+            DifficultySchedule(committee_probability=0.0,
+                               leader_probability=0.5)
+
+    def test_rejects_probability_above_one(self):
+        with pytest.raises(ConfigurationError):
+            DifficultySchedule(committee_probability=1.5,
+                               leader_probability=0.5)
+
+    def test_small_n_caps_committee_probability(self):
+        params = SecurityParameters(lam=40)
+        schedule = DifficultySchedule.for_parameters(params, 10)
+        assert schedule.probability(("Vote", 1, 0)) == 1.0

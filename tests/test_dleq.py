@@ -1,0 +1,114 @@
+"""Tests for the DLEQ and committed-key sigma proofs."""
+
+from dataclasses import replace
+
+from repro.crypto.commitment import ElGamalCommitmentScheme
+from repro.crypto.dleq import (
+    prove_committed_key,
+    prove_dleq,
+    verify_committed_key,
+    verify_dleq,
+)
+
+
+class TestDleq:
+    def test_completeness(self, group, rng):
+        secret = group.random_scalar(rng)
+        base = group.hash_to_group(b"base")
+        proof = prove_dleq(group, secret, base, rng)
+        assert verify_dleq(group, group.exp(group.g, secret),
+                           group.exp(base, secret), base, proof)
+
+    def test_context_binding(self, group, rng):
+        secret = group.random_scalar(rng)
+        base = group.hash_to_group(b"base")
+        proof = prove_dleq(group, secret, base, rng, context="msg-A")
+        x_pub, y_pub = group.exp(group.g, secret), group.exp(base, secret)
+        assert verify_dleq(group, x_pub, y_pub, base, proof, context="msg-A")
+        assert not verify_dleq(group, x_pub, y_pub, base, proof,
+                               context="msg-B")
+
+    def test_soundness_wrong_y(self, group, rng):
+        secret = group.random_scalar(rng)
+        other = group.random_scalar(rng)
+        base = group.hash_to_group(b"base")
+        proof = prove_dleq(group, secret, base, rng)
+        assert not verify_dleq(group, group.exp(group.g, secret),
+                               group.exp(base, other), base, proof)
+
+    def test_tampered_proof_rejected(self, group, rng):
+        secret = group.random_scalar(rng)
+        base = group.hash_to_group(b"base")
+        proof = prove_dleq(group, secret, base, rng)
+        x_pub, y_pub = group.exp(group.g, secret), group.exp(base, secret)
+        assert not verify_dleq(
+            group, x_pub, y_pub, base,
+            replace(proof, response=(proof.response + 1) % group.q))
+        assert not verify_dleq(
+            group, x_pub, y_pub, base,
+            replace(proof, challenge=(proof.challenge + 1) % group.q))
+
+    def test_malformed_elements_rejected(self, group, rng):
+        secret = group.random_scalar(rng)
+        base = group.hash_to_group(b"base")
+        proof = prove_dleq(group, secret, base, rng)
+        assert not verify_dleq(group, 0, group.exp(base, secret), base, proof)
+
+
+class TestCommittedKeyProof:
+    def _setup(self, group, rng):
+        scheme = ElGamalCommitmentScheme(group)
+        key = group.random_scalar(rng)
+        commitment, randomness = scheme.commit_random(key, rng)
+        base = group.hash_to_group(b"topic")
+        return key, randomness, commitment, base
+
+    def test_completeness(self, group, rng):
+        key, randomness, commitment, base = self._setup(group, rng)
+        rho = group.exp(base, key)
+        proof = prove_committed_key(group, key, randomness, base, rng)
+        assert verify_committed_key(group, commitment, base, rho, proof)
+
+    def test_soundness_wrong_evaluation(self, group, rng):
+        key, randomness, commitment, base = self._setup(group, rng)
+        proof = prove_committed_key(group, key, randomness, base, rng)
+        wrong_rho = group.exp(base, (key + 1) % group.q)
+        assert not verify_committed_key(group, commitment, base, wrong_rho,
+                                        proof)
+
+    def test_soundness_wrong_commitment(self, group, rng):
+        key, randomness, commitment, base = self._setup(group, rng)
+        rho = group.exp(base, key)
+        proof = prove_committed_key(group, key, randomness, base, rng)
+        scheme = ElGamalCommitmentScheme(group)
+        other_commitment, _ = scheme.commit_random(group.random_scalar(rng),
+                                                   rng)
+        assert not verify_committed_key(group, other_commitment, base, rho,
+                                        proof)
+
+    def test_context_binding(self, group, rng):
+        key, randomness, commitment, base = self._setup(group, rng)
+        rho = group.exp(base, key)
+        proof = prove_committed_key(group, key, randomness, base, rng,
+                                    context=("Vote", 1, 0))
+        assert verify_committed_key(group, commitment, base, rho, proof,
+                                    context=("Vote", 1, 0))
+        assert not verify_committed_key(group, commitment, base, rho, proof,
+                                        context=("Vote", 1, 1))
+
+    def test_tampering_any_scalar_rejected(self, group, rng):
+        key, randomness, commitment, base = self._setup(group, rng)
+        rho = group.exp(base, key)
+        proof = prove_committed_key(group, key, randomness, base, rng)
+        for field_name in ("challenge", "response_key", "response_rand"):
+            tampered = replace(
+                proof, **{field_name: (getattr(proof, field_name) + 1) % group.q})
+            assert not verify_committed_key(group, commitment, base, rho,
+                                            tampered)
+
+    def test_out_of_range_scalars_rejected(self, group, rng):
+        key, randomness, commitment, base = self._setup(group, rng)
+        rho = group.exp(base, key)
+        proof = prove_committed_key(group, key, randomness, base, rng)
+        bad = replace(proof, response_key=group.q)
+        assert not verify_committed_key(group, commitment, base, rho, bad)

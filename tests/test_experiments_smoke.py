@@ -1,0 +1,65 @@
+"""Smoke tests for the experiment suite at reduced scale.
+
+The full-scale experiments live in ``benchmarks/``; these tests verify
+that every experiment runs, produces a well-formed table, and that the
+cheap ones already exhibit the paper's qualitative shape.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    experiment_e2,
+    experiment_e6,
+    experiment_e7,
+    experiment_e8,
+    experiment_e11,
+)
+
+
+class TestExperimentRegistry:
+    def test_all_twelve_registered(self):
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 13)}
+
+    def test_registry_values_are_callables(self):
+        for experiment in ALL_EXPERIMENTS.values():
+            assert callable(experiment)
+
+
+class TestCheapExperiments:
+    def test_e2_shape(self):
+        result = experiment_e2()
+        assert result.data["naive"].consistency_violated
+        assert not result.data["dolev_strong"].attack_feasible
+        rendered = result.render()
+        assert "naive-broadcast" in rendered
+        assert "dolev-strong" in rendered
+
+    def test_e6_shape(self):
+        result = experiment_e6(trials=2)
+        assert result.data["round_no_erasure"] < result.data["round_erasure"]
+        assert result.data["bit_specific"] == 1.0
+
+    def test_e7_shape(self):
+        result = experiment_e7()
+        assert result.data["shared"].contradiction
+        assert not result.data["pki"].contradiction
+
+    def test_e8_measured_tracks_predicted(self):
+        result = experiment_e8(samples=150)
+        data = result.data
+        assert abs(data["corrupt_quorum_rate"]
+                   - data["corrupt_quorum_pred"]) < 0.12
+        assert abs(data["good_iteration_rate"]
+                   - data["good_iteration_pred"]) < 0.12
+
+    def test_e11_worlds_agree(self):
+        result = experiment_e11(trials=2)
+        assert result.data["fmine"]["consistency"] == 1.0
+        assert result.data["vrf"]["consistency"] == 1.0
+
+    def test_tables_render_with_rows(self):
+        result = experiment_e2()
+        for table in result.tables:
+            rendered = table.render()
+            assert len(rendered.splitlines()) >= 4

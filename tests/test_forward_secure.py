@@ -1,0 +1,93 @@
+"""Tests for forward-secure signatures (footnote 5 ephemeral keys)."""
+
+import pytest
+
+from repro.crypto.forward_secure import (
+    ForwardSecureKeyPair,
+    verify_forward_secure,
+)
+from repro.errors import SignatureError
+
+
+@pytest.fixture
+def fs_keypair(group, rng):
+    return ForwardSecureKeyPair(group, max_epochs=8, rng=rng)
+
+
+class TestSigningAndVerification:
+    def test_roundtrip_every_epoch(self, group, rng, fs_keypair):
+        for epoch in range(8):
+            signature = fs_keypair.sign(epoch, ("vote", epoch), rng)
+            assert verify_forward_secure(
+                group, fs_keypair.public_root, 8, ("vote", epoch), signature)
+
+    def test_wrong_message_rejected(self, group, rng, fs_keypair):
+        signature = fs_keypair.sign(2, "m", rng)
+        assert not verify_forward_secure(
+            group, fs_keypair.public_root, 8, "other", signature)
+
+    def test_wrong_root_rejected(self, group, rng, fs_keypair):
+        other = ForwardSecureKeyPair(group, max_epochs=8, rng=rng)
+        signature = fs_keypair.sign(2, "m", rng)
+        assert not verify_forward_secure(
+            group, other.public_root, 8, "m", signature)
+
+    def test_epoch_out_of_range_rejected(self, group, rng, fs_keypair):
+        with pytest.raises(SignatureError):
+            fs_keypair.sign(8, "m", rng)
+        with pytest.raises(SignatureError):
+            fs_keypair.sign(-1, "m", rng)
+
+    def test_cross_epoch_signature_rejected(self, group, rng, fs_keypair):
+        """A signature for epoch 2 must not verify as epoch 3's."""
+        import dataclasses
+        signature = fs_keypair.sign(2, "m", rng)
+        forged = dataclasses.replace(signature, epoch=3)
+        assert not verify_forward_secure(
+            group, fs_keypair.public_root, 8, "m", forged)
+
+    def test_odd_epoch_count_merkle(self, group, rng):
+        keypair = ForwardSecureKeyPair(group, max_epochs=5, rng=rng)
+        for epoch in range(5):
+            signature = keypair.sign(epoch, "m", rng)
+            assert verify_forward_secure(
+                group, keypair.public_root, 5, "m", signature)
+
+
+class TestErasure:
+    def test_evolve_erases_past_keys(self, group, rng, fs_keypair):
+        fs_keypair.sign(3, "m", rng)
+        fs_keypair.evolve(4)
+        with pytest.raises(SignatureError):
+            fs_keypair.sign(3, "again", rng)
+
+    def test_future_epochs_still_usable(self, group, rng, fs_keypair):
+        fs_keypair.evolve(4)
+        signature = fs_keypair.sign(5, "m", rng)
+        assert verify_forward_secure(
+            group, fs_keypair.public_root, 8, "m", signature)
+
+    def test_cannot_evolve_backwards(self, group, rng, fs_keypair):
+        fs_keypair.evolve(5)
+        with pytest.raises(ValueError):
+            fs_keypair.evolve(2)
+
+    def test_revealed_state_excludes_erased_keys(self, group, rng, fs_keypair):
+        """What an adversary gets on corruption shrinks as keys evolve —
+        the memory-erasure model in action."""
+        assert set(fs_keypair.reveal_state()) == set(range(8))
+        fs_keypair.evolve(3)
+        assert set(fs_keypair.reveal_state()) == set(range(3, 8))
+
+    def test_can_sign_tracks_erasure(self, group, rng, fs_keypair):
+        assert fs_keypair.can_sign(1)
+        fs_keypair.evolve(2)
+        assert not fs_keypair.can_sign(1)
+        assert fs_keypair.can_sign(2)
+
+    def test_old_signatures_still_verify_after_erasure(self, group, rng,
+                                                       fs_keypair):
+        signature = fs_keypair.sign(1, "m", rng)
+        fs_keypair.evolve(6)
+        assert verify_forward_secure(
+            group, fs_keypair.public_root, 8, "m", signature)

@@ -1,0 +1,88 @@
+"""Tests for the gossip-diffusion substrate."""
+
+import math
+
+import pytest
+
+from repro.harness import run_instance
+from repro.protocols import build_subquadratic_ba
+from repro.sim.gossip import (
+    expected_hops,
+    gossip_cost_of_execution,
+    simulate_push_gossip,
+)
+from repro.types import SecurityParameters
+
+
+class TestPushGossip:
+    def test_full_coverage_at_moderate_fanout(self):
+        outcome = simulate_push_gossip(n=500, fanout=6, seed=1)
+        assert outcome.full_coverage
+
+    def test_hops_logarithmic_in_n(self):
+        """O(log n) hops: 16x more nodes adds only a few hops."""
+        small = simulate_push_gossip(n=128, fanout=6, seed=2)
+        large = simulate_push_gossip(n=2048, fanout=6, seed=2)
+        assert small.full_coverage and large.full_coverage
+        assert large.hops <= small.hops + 6
+        assert large.hops <= 2 * expected_hops(2048)
+
+    def test_relays_linear_in_n(self):
+        outcome = simulate_push_gossip(n=1000, fanout=4, seed=3)
+        assert outcome.full_coverage
+        assert outcome.relays < 40 * 1000  # O(n log n) worst bound, loose
+
+    def test_crashed_nodes_receive_but_do_not_relay(self):
+        # With most nodes crashed the epidemic still reaches the rest,
+        # only slower (crashed nodes are sinks).
+        crashed = list(range(100, 200))
+        outcome = simulate_push_gossip(n=300, fanout=8, seed=4,
+                                       crashed=crashed)
+        assert outcome.full_coverage
+
+    def test_everyone_crashed_except_origin(self):
+        """With only the origin relaying, coverage within a few hops is
+        the origin's own pushes — far slower than healthy gossip."""
+        outcome = simulate_push_gossip(n=200, fanout=4, seed=5,
+                                       crashed=list(range(1, 200)),
+                                       max_hops=3)
+        healthy = simulate_push_gossip(n=200, fanout=4, seed=5, max_hops=3)
+        assert outcome.reached < healthy.reached
+        assert outcome.relays == 3 * 4  # origin alone, three hops
+
+    def test_deterministic_per_seed(self):
+        a = simulate_push_gossip(n=200, fanout=4, seed=6)
+        b = simulate_push_gossip(n=200, fanout=4, seed=6)
+        assert a == b
+
+    def test_max_hops_cutoff(self):
+        outcome = simulate_push_gossip(n=10000, fanout=1, seed=7, max_hops=2)
+        assert outcome.hops <= 2
+        assert not outcome.full_coverage
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            simulate_push_gossip(n=0)
+        with pytest.raises(ValueError):
+            simulate_push_gossip(n=10, fanout=0)
+
+
+class TestGossipCostTranslation:
+    def test_cost_proportional_to_multicasts(self):
+        n, f = 200, 50
+        params = SecurityParameters(lam=20, epsilon=0.1)
+        instance = build_subquadratic_ba(n, f, [1] * n, seed=0,
+                                         params=params)
+        result = run_instance(instance, f, seed=0)
+        cost = gossip_cost_of_execution(result)
+        assert cost == pytest.approx(
+            result.metrics.multicast_complexity_messages * 1.5 * n)
+
+    def test_custom_relay_factor(self):
+        n, f = 100, 25
+        params = SecurityParameters(lam=20, epsilon=0.1)
+        instance = build_subquadratic_ba(n, f, [1] * n, seed=0,
+                                         params=params)
+        result = run_instance(instance, f, seed=0)
+        assert gossip_cost_of_execution(result, relays_per_multicast=10) \
+            == result.metrics.multicast_complexity_messages * 10

@@ -1,0 +1,89 @@
+"""Tests for the runner, trial aggregation, and table rendering."""
+
+import pytest
+
+from repro.adversaries import CrashAdversary
+from repro.harness import Table, run_instance, run_trials
+from repro.harness.runner import TrialStats
+from repro.protocols import build_quadratic_ba
+from repro.sim.result import ExecutionResult
+
+
+class TestRunTrials:
+    def test_aggregates_across_seeds(self):
+        n, f = 7, 3
+        stats = run_trials(build_quadratic_ba, f=f, seeds=range(3),
+                           n=n, inputs=[1] * n)
+        assert stats.trials == 3
+        assert stats.consistency_rate == 1.0
+        assert stats.validity_rate == 1.0
+        assert stats.mean_rounds > 0
+        assert stats.mean_multicasts > 0
+
+    def test_adversary_factory_sees_each_instance(self):
+        captured = []
+
+        def factory(instance):
+            captured.append(instance.name)
+            return CrashAdversary()
+
+        n, f = 7, 3
+        run_trials(build_quadratic_ba, f=f, seeds=range(2),
+                   n=n, inputs=[1] * n, adversary_factory=factory)
+        assert captured == ["quadratic-ba", "quadratic-ba"]
+
+    def test_empty_stats_defaults(self):
+        stats = TrialStats()
+        assert stats.consistency_rate == 1.0
+        assert stats.violation_rate == 0.0
+        assert stats.mean_rounds == 0.0
+
+    def test_decision_rounds_collects_all(self):
+        n, f = 7, 3
+        stats = run_trials(build_quadratic_ba, f=f, seeds=range(2),
+                           n=n, inputs=[1] * n)
+        assert len(stats.decision_rounds()) == 2 * n
+
+
+class TestRunInstance:
+    def test_max_rounds_override(self):
+        n, f = 7, 3
+        instance = build_quadratic_ba(n, f, [i % 2 for i in range(n)], seed=0)
+        result = run_instance(instance, f, seed=0, max_rounds=1)
+        assert result.rounds_executed == 1
+
+    def test_returns_execution_result(self):
+        n, f = 7, 3
+        instance = build_quadratic_ba(n, f, [1] * n, seed=0)
+        result = run_instance(instance, f, seed=0)
+        assert isinstance(result, ExecutionResult)
+        assert result.inputs == {i: 1 for i in range(n)}
+
+
+class TestTable:
+    def test_renders_aligned_columns(self):
+        table = Table("Title", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("b", 123456)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_formats_floats_and_bools(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(0.123456, True)
+        rendered = table.render()
+        assert "0.123" in rendered
+        assert "yes" in rendered
+
+    def test_wrong_arity_rejected(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_str_is_render(self):
+        table = Table("T", ["a"])
+        table.add_row(1)
+        assert str(table) == table.render()

@@ -1,0 +1,84 @@
+"""Tests for protocol message types: immutability, sizes, structure."""
+
+import dataclasses
+
+import pytest
+
+from repro.protocols.certificates import Certificate, certificate_from_votes
+from repro.protocols.messages import (
+    AckMsg,
+    CommitMsg,
+    PhaseKingProposeMsg,
+    ProposeMsg,
+    SignedVote,
+    StatusMsg,
+    TerminateMsg,
+    VoteMsg,
+)
+from repro.serialization import canonical_bytes, encoded_size_bits
+
+
+def _certificate(iteration=1, bit=1, voters=4):
+    return certificate_from_votes(
+        iteration, bit, {v: f"auth-{v}" for v in range(voters)}, voters)
+
+
+class TestImmutability:
+    """Sent messages cannot be retracted or altered (App. A.1)."""
+
+    @pytest.mark.parametrize("message", [
+        SignedVote(1, 0, 3, "a"),
+        StatusMsg(2, 1, None, 3, "a"),
+        ProposeMsg(2, 1, None, 3, "a"),
+        VoteMsg(2, 1, 3, "a", None),
+        CommitMsg(2, 1, _certificate(), 3, "a"),
+        TerminateMsg(1, 2, (), 3, "a"),
+        PhaseKingProposeMsg(0, 1, 3, "a"),
+        AckMsg(0, 1, 3, "a"),
+    ])
+    def test_frozen(self, message):
+        field = dataclasses.fields(message)[0].name
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            setattr(message, field, 99)
+
+
+class TestSizeAccounting:
+    def test_vote_without_proposal_is_small(self):
+        vote = VoteMsg(1, 1, 3, "ticket", None)
+        assert encoded_size_bits(vote) < 1000
+
+    def test_certificate_size_scales_with_quorum(self):
+        small = CommitMsg(1, 1, _certificate(voters=4), 3, "a")
+        large = CommitMsg(1, 1, _certificate(voters=16), 3, "a")
+        assert (encoded_size_bits(large) > 2 * encoded_size_bits(small))
+
+    def test_terminate_with_stripped_commits_is_linear(self):
+        """The Lemma 15 fix: Terminate carries certificate-free commits."""
+        stripped = tuple(
+            CommitMsg(1, 1, None, sender, "auth") for sender in range(10))
+        full = tuple(
+            CommitMsg(1, 1, _certificate(voters=10), sender, "auth")
+            for sender in range(10))
+        small = TerminateMsg(1, 1, stripped, 3, "a")
+        big = TerminateMsg(1, 1, full, 3, "a")
+        assert encoded_size_bits(small) < encoded_size_bits(big) / 5
+
+    def test_messages_have_canonical_encodings(self):
+        vote = VoteMsg(2, 1, 3, "a", None)
+        assert canonical_bytes(vote) == canonical_bytes(
+            VoteMsg(2, 1, 3, "a", None))
+        assert canonical_bytes(vote) != canonical_bytes(
+            VoteMsg(2, 0, 3, "a", None))
+
+
+class TestStructure:
+    def test_vote_converts_to_signed_vote(self):
+        vote = VoteMsg(iteration=2, bit=1, sender=3, auth="t",
+                       proposal=None)
+        signed = vote.as_signed_vote()
+        assert signed == SignedVote(iteration=2, bit=1, voter=3, auth="t")
+
+    def test_certificate_is_hashable_reference(self):
+        cert = _certificate()
+        assert isinstance(cert, Certificate)
+        assert hash(cert) == hash(_certificate())

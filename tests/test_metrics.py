@@ -1,0 +1,72 @@
+"""Tests for communication accounting (Definitions 6 and 7)."""
+
+from repro.serialization import encoded_size_bits
+from repro.sim.metrics import CommunicationMetrics
+from repro.sim.network import Envelope
+
+
+def _envelope(sender=0, recipient=None, payload="m", round_sent=0,
+              honest=True, envelope_id=0):
+    return Envelope(envelope_id=envelope_id, sender=sender,
+                    recipient=recipient, payload=payload,
+                    round_sent=round_sent, honest_sender=honest)
+
+
+class TestMulticastComplexity:
+    def test_honest_multicast_counted(self):
+        metrics = CommunicationMetrics(n=10)
+        metrics.record(_envelope())
+        assert metrics.multicast_complexity_messages == 1
+        assert metrics.multicast_complexity_bits == encoded_size_bits("m")
+
+    def test_corrupt_multicast_not_counted(self):
+        """Definition 7 counts bits multicast by *honest* players."""
+        metrics = CommunicationMetrics(n=10)
+        metrics.record(_envelope(honest=False))
+        assert metrics.multicast_complexity_messages == 0
+        assert metrics.corrupt_multicast_count == 1
+
+    def test_unicast_not_a_multicast(self):
+        metrics = CommunicationMetrics(n=10)
+        metrics.record(_envelope(recipient=3))
+        assert metrics.multicast_complexity_messages == 0
+        assert metrics.honest_unicast_count == 1
+
+    def test_per_round_breakdown(self):
+        metrics = CommunicationMetrics(n=10)
+        metrics.record(_envelope(round_sent=0))
+        metrics.record(_envelope(round_sent=0, envelope_id=1))
+        metrics.record(_envelope(round_sent=2, envelope_id=2))
+        assert metrics.per_round_honest_multicasts == {0: 2, 2: 1}
+
+
+class TestClassicalComplexity:
+    def test_multicast_counts_as_n_minus_one_messages(self):
+        metrics = CommunicationMetrics(n=10)
+        metrics.record(_envelope())
+        assert metrics.classical_message_count == 9
+
+    def test_unicast_counts_once(self):
+        metrics = CommunicationMetrics(n=10)
+        metrics.record(_envelope(recipient=1))
+        assert metrics.classical_message_count == 1
+
+    def test_classical_bits_fan_out(self):
+        metrics = CommunicationMetrics(n=4)
+        metrics.record(_envelope(payload="abc"))
+        assert metrics.classical_bits == 3 * encoded_size_bits("abc")
+
+
+class TestMaxMessageSize:
+    def test_max_tracks_largest_honest_payload(self):
+        metrics = CommunicationMetrics(n=4)
+        metrics.record(_envelope(payload="x"))
+        metrics.record(_envelope(payload="a much longer payload",
+                                 envelope_id=1))
+        assert metrics.max_message_bits == encoded_size_bits(
+            "a much longer payload")
+
+    def test_corrupt_payloads_do_not_set_max(self):
+        metrics = CommunicationMetrics(n=4)
+        metrics.record(_envelope(payload="y" * 100, honest=False))
+        assert metrics.max_message_bits == 0

@@ -1,0 +1,104 @@
+"""Tests for the multi-valued BA extension."""
+
+import pytest
+
+from repro.adversaries import CrashAdversary, StaticEquivocationAdversary
+from repro.errors import ConfigurationError
+from repro.harness import run_instance, run_trials
+from repro.protocols.multivalued import (
+    TaggedMsg,
+    _tag_topic,
+    build_multivalued_ba,
+)
+from repro.types import SecurityParameters
+
+PARAMS = SecurityParameters(lam=24, epsilon=0.1)
+
+
+class TestTopicTagging:
+    def test_kind_stays_first(self):
+        assert _tag_topic(3, ("Vote", 2, 1)) == ("Vote", 3, 2, 1)
+
+    def test_instances_are_domain_separated(self):
+        assert _tag_topic(0, ("Vote", 2, 1)) != _tag_topic(1, ("Vote", 2, 1))
+
+    def test_committees_independent_across_instances(self):
+        instance = build_multivalued_ba(
+            60, 15, [0] * 60, width=2, seed=1, params=PARAMS)
+        eligibility = instance.services["eligibility"]
+        winners = []
+        for tag in (0, 1):
+            topic = ("Vote", tag, 1, 0)
+            winners.append({
+                node for node in range(60)
+                if eligibility.capability_for(node).try_mine(topic)})
+        assert winners[0] != winners[1]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("value", [0, 1, 0x5A, 0xFF])
+    def test_unanimous_validity(self, value):
+        n, f = 100, 30
+        instance = build_multivalued_ba(n, f, [value] * n, width=8,
+                                        seed=2, params=PARAMS)
+        result = run_instance(instance, f, seed=2)
+        assert set(result.honest_outputs) == {value}
+        assert result.all_decided()
+
+    def test_mixed_values_consistent(self):
+        n, f = 100, 30
+        values = [(i * 19) % 256 for i in range(n)]
+        instance = build_multivalued_ba(n, f, values, width=8,
+                                        seed=3, params=PARAMS)
+        result = run_instance(instance, f, seed=3)
+        assert result.consistent()
+        assert result.all_decided()
+
+    def test_crash_faults_tolerated(self):
+        n, f = 100, 40
+        instance = build_multivalued_ba(n, f, [7] * n, width=4,
+                                        seed=4, params=PARAMS)
+        result = run_instance(instance, f, CrashAdversary(), seed=4)
+        assert set(result.honest_outputs) == {7}
+
+    def test_width_one_matches_binary_protocol_semantics(self):
+        n, f = 80, 20
+        instance = build_multivalued_ba(n, f, [1] * n, width=1,
+                                        seed=5, params=PARAMS)
+        result = run_instance(instance, f, seed=5)
+        assert set(result.honest_outputs) == {1}
+
+    def test_multicast_complexity_scales_with_width_not_n(self):
+        counts = {}
+        for n in (80, 240):
+            instance = build_multivalued_ba(
+                n, int(0.25 * n), [3] * n, width=4, seed=6, params=PARAMS)
+            result = run_instance(instance, int(0.25 * n), seed=6)
+            counts[n] = result.metrics.multicast_complexity_messages
+        assert counts[240] < 2 * counts[80] + 20
+
+
+class TestConfiguration:
+    def test_value_must_fit_width(self):
+        with pytest.raises(ConfigurationError):
+            build_multivalued_ba(10, 3, [9] * 10, width=3)
+
+    def test_requires_value_per_node(self):
+        with pytest.raises(ConfigurationError):
+            build_multivalued_ba(10, 3, [1, 2], width=4)
+
+    def test_requires_positive_width(self):
+        with pytest.raises(ConfigurationError):
+            build_multivalued_ba(10, 3, [0] * 10, width=0)
+
+    def test_requires_honest_majority(self):
+        with pytest.raises(ConfigurationError):
+            build_multivalued_ba(10, 5, [0] * 10, width=2)
+
+    def test_tagged_msg_roundtrip_in_inbox_split(self):
+        instance = build_multivalued_ba(20, 5, [2] * 20, width=2,
+                                        seed=7, params=PARAMS)
+        node = instance.nodes[0]
+        assert len(node.instances) == 2
+        assert node.instances[0].input_bit == 0  # bit 0 of value 2
+        assert node.instances[1].input_bit == 1  # bit 1 of value 2

@@ -1,0 +1,71 @@
+"""Tests for the HMAC and DDH PRFs."""
+
+import pytest
+
+from repro.crypto.prf import DdhPrf, HmacPrf
+
+
+class TestHmacPrf:
+    def test_deterministic(self):
+        prf = HmacPrf(b"key")
+        assert prf.evaluate(b"m") == prf.evaluate(b"m")
+
+    def test_message_sensitivity(self):
+        prf = HmacPrf(b"key")
+        assert prf.evaluate(b"m0") != prf.evaluate(b"m1")
+
+    def test_key_sensitivity(self):
+        assert HmacPrf(b"k1").evaluate(b"m") != HmacPrf(b"k2").evaluate(b"m")
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            HmacPrf(b"")
+
+    def test_evaluate_object_uses_canonical_encoding(self):
+        prf = HmacPrf(b"key")
+        assert prf.evaluate_object(("Vote", 1, 0)) != prf.evaluate_object(
+            ("Vote", 1, 1))
+
+    def test_evaluate_int_range(self):
+        prf = HmacPrf(b"key")
+        value = prf.evaluate_int(("ACK", 2, 1))
+        assert 0 <= value < 2**256
+
+    def test_output_distribution_rough_uniformity(self):
+        # The top bit should be ~50/50 over many messages.
+        prf = HmacPrf(b"key")
+        top_bits = sum(prf.evaluate_int(i) >> 255 for i in range(400))
+        assert 120 < top_bits < 280
+
+
+class TestDdhPrf:
+    def test_outputs_are_group_elements(self, group, rng):
+        prf = DdhPrf(group, group.random_scalar(rng))
+        assert group.is_element(prf.evaluate("hello"))
+
+    def test_deterministic(self, group, rng):
+        prf = DdhPrf(group, group.random_scalar(rng))
+        assert prf.evaluate(("m", 1)) == prf.evaluate(("m", 1))
+
+    def test_message_sensitivity(self, group, rng):
+        prf = DdhPrf(group, group.random_scalar(rng))
+        assert prf.evaluate("a") != prf.evaluate("b")
+
+    def test_key_sensitivity(self, group, rng):
+        prf1 = DdhPrf(group, group.random_scalar(rng))
+        prf2 = DdhPrf(group, group.random_scalar(rng))
+        assert prf1.evaluate("m") != prf2.evaluate("m")
+
+    def test_evaluation_is_base_to_the_key(self, group, rng):
+        key = group.random_scalar(rng)
+        prf = DdhPrf(group, key)
+        base = prf.base_point("m")
+        assert prf.evaluate("m") == group.exp(base, key)
+
+    def test_rejects_zero_key(self, group):
+        with pytest.raises(ValueError):
+            DdhPrf(group, 0)
+
+    def test_rejects_oversized_key(self, group):
+        with pytest.raises(ValueError):
+            DdhPrf(group, group.q)

@@ -1,0 +1,106 @@
+"""End-to-end tests for the quadratic BA protocol (Appendix C.1)."""
+
+import pytest
+
+from repro.adversaries import CrashAdversary, LeaderKillerAdversary, StaticEquivocationAdversary
+from repro.errors import ConfigurationError
+from repro.harness import run_instance, run_trials
+from repro.protocols import build_quadratic_ba
+from tests.conftest import mixed_inputs
+
+
+class TestHonestExecutions:
+    def test_unanimous_inputs_decide_in_first_iteration(self):
+        n, f = 9, 4
+        instance = build_quadratic_ba(n, f, [1] * n, seed=0)
+        result = run_instance(instance, f, seed=0)
+        assert result.consistent()
+        assert set(result.honest_outputs) == {1}
+        assert result.rounds_executed <= 4
+
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_validity_both_bits(self, bit):
+        n, f = 7, 3
+        instance = build_quadratic_ba(n, f, [bit] * n, seed=1)
+        result = run_instance(instance, f, seed=1)
+        assert set(result.honest_outputs) == {bit}
+
+    def test_mixed_inputs_reach_agreement(self):
+        n, f = 9, 4
+        stats = run_trials(build_quadratic_ba, f=f, seeds=range(5),
+                           n=n, inputs=mixed_inputs(n))
+        assert stats.consistency_rate == 1.0
+        assert stats.termination_rate == 1.0
+
+    def test_expected_constant_iterations(self):
+        """Mixed inputs decide within a few iterations (expected 2 good)."""
+        n, f = 11, 5
+        stats = run_trials(build_quadratic_ba, f=f, seeds=range(8),
+                           n=n, inputs=mixed_inputs(n))
+        assert stats.mean_rounds < 20
+
+    def test_every_node_multicasts(self):
+        """Quadratic world: all n nodes speak (the cost Theorem 2 removes).
+
+        In iteration 1 every honest node multicasts a vote, so the honest
+        multicast count is at least n per execution.
+        """
+        n, f = 9, 4
+        instance = build_quadratic_ba(n, f, [1] * n, seed=0)
+        result = run_instance(instance, f, seed=0)
+        assert result.metrics.multicast_complexity_messages >= n
+
+
+class TestAdversarialExecutions:
+    def test_crash_faults_tolerated(self):
+        n, f = 9, 4
+        stats = run_trials(build_quadratic_ba, f=f, seeds=range(4),
+                           n=n, inputs=[1] * n,
+                           adversary_factory=lambda inst: CrashAdversary())
+        assert stats.consistency_rate == 1.0
+        assert stats.validity_rate == 1.0
+
+    def test_equivocation_safe(self):
+        n, f = 9, 4
+        stats = run_trials(build_quadratic_ba, f=f, seeds=range(4),
+                           n=n, inputs=mixed_inputs(n),
+                           adversary_factory=StaticEquivocationAdversary)
+        assert stats.consistency_rate == 1.0
+
+    def test_equivocation_validity_holds(self):
+        """With unanimous honest inputs, corrupt double-votes cannot flip
+        the outcome (the f+1 quorum needs an honest vote)."""
+        n, f = 9, 4
+        stats = run_trials(build_quadratic_ba, f=f, seeds=range(4),
+                           n=n, inputs=[0] * n,
+                           adversary_factory=StaticEquivocationAdversary)
+        assert stats.validity_rate == 1.0
+
+    def test_leader_killing_delays_but_preserves_safety(self):
+        n, f = 13, 6
+        instance = build_quadratic_ba(n, f, mixed_inputs(n), seed=9)
+        adversary = LeaderKillerAdversary(instance)
+        result = run_instance(instance, f, adversary, seed=9)
+        assert result.consistent()
+        assert len(adversary.killed) > 0
+
+
+class TestConfiguration:
+    def test_requires_honest_majority(self):
+        with pytest.raises(ConfigurationError):
+            build_quadratic_ba(8, 4, [0] * 8)
+
+    def test_requires_input_per_node(self):
+        with pytest.raises(ConfigurationError):
+            build_quadratic_ba(5, 2, [0, 1])
+
+    def test_deterministic_replay(self):
+        n, f = 9, 4
+        r1 = run_instance(build_quadratic_ba(n, f, mixed_inputs(n), seed=3),
+                          f, seed=3)
+        r2 = run_instance(build_quadratic_ba(n, f, mixed_inputs(n), seed=3),
+                          f, seed=3)
+        assert r1.outputs == r2.outputs
+        assert r1.rounds_executed == r2.rounds_executed
+        assert (r1.metrics.multicast_complexity_bits
+                == r2.metrics.multicast_complexity_bits)

@@ -1,0 +1,93 @@
+"""Tests for the PKI registry and ideal signatures."""
+
+import pytest
+
+from repro.crypto.registry import (
+    IDEAL_MODE,
+    IdealSignature,
+    KeyRegistry,
+    REAL_MODE,
+    SigningCapability,
+)
+from repro.errors import ConfigurationError, ForgeryAttempt
+
+
+class TestIdealMode:
+    def test_sign_verify_roundtrip(self):
+        registry = KeyRegistry(4, IDEAL_MODE)
+        signature = registry.capability_for(1).sign(("Vote", 2, 0))
+        assert registry.verify(1, ("Vote", 2, 0), signature)
+
+    def test_wrong_message_rejected(self):
+        registry = KeyRegistry(4, IDEAL_MODE)
+        signature = registry.capability_for(1).sign("m")
+        assert not registry.verify(1, "other", signature)
+
+    def test_wrong_signer_rejected(self):
+        registry = KeyRegistry(4, IDEAL_MODE)
+        signature = registry.capability_for(1).sign("m")
+        assert not registry.verify(2, "m", signature)
+
+    def test_unissued_token_rejected(self):
+        """A digest-correct token that was never issued via a capability
+        does not verify: unforgeability by construction."""
+        registry = KeyRegistry(4, IDEAL_MODE)
+        forged = IdealSignature(
+            signer=1, digest=registry._expected_digest(1, "m"))
+        assert not registry.verify(1, "m", forged)
+
+    def test_counterfeit_capability_rejected(self):
+        registry = KeyRegistry(4, IDEAL_MODE)
+        fake = SigningCapability(registry, 1)
+        with pytest.raises(ForgeryAttempt):
+            fake.sign("m")
+
+    def test_out_of_range_node_rejected(self):
+        registry = KeyRegistry(4, IDEAL_MODE)
+        signature = registry.capability_for(1).sign("m")
+        assert not registry.verify(7, "m", signature)
+        assert not registry.verify(-1, "m", signature)
+
+    def test_unhashable_message_supported(self):
+        registry = KeyRegistry(2, IDEAL_MODE)
+        message = ["list", "is", "unhashable"]
+        signature = registry.capability_for(0).sign(message)
+        assert registry.verify(0, message, signature)
+
+    def test_signature_bits_positive(self):
+        assert KeyRegistry(2, IDEAL_MODE).signature_bits() > 0
+
+
+class TestRealMode:
+    def test_sign_verify_roundtrip(self, group):
+        registry = KeyRegistry(3, REAL_MODE, group, seed=5)
+        signature = registry.capability_for(2).sign(("ds", 0, 1))
+        assert registry.verify(2, ("ds", 0, 1), signature)
+
+    def test_cross_node_rejected(self, group):
+        registry = KeyRegistry(3, REAL_MODE, group, seed=5)
+        signature = registry.capability_for(2).sign("m")
+        assert not registry.verify(1, "m", signature)
+
+    def test_ideal_token_rejected_in_real_mode(self, group):
+        registry = KeyRegistry(3, REAL_MODE, group, seed=5)
+        assert not registry.verify(0, "m", IdealSignature(0, b"x" * 32))
+
+    def test_signature_bits_scale_with_group(self, group):
+        registry = KeyRegistry(2, REAL_MODE, group)
+        assert registry.signature_bits() >= 2 * group.q.bit_length() - 16
+
+
+class TestConstruction:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            KeyRegistry(0)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            KeyRegistry(2, "quantum")
+
+    def test_deterministic_keys_per_seed(self, group):
+        r1 = KeyRegistry(3, REAL_MODE, group, seed=9)
+        r2 = KeyRegistry(3, REAL_MODE, group, seed=9)
+        assert r1.public_keys == r2.public_keys

@@ -1,0 +1,55 @@
+"""Tests for the execution narrator."""
+
+from repro.adversaries import StaticEquivocationAdversary
+from repro.harness import run_instance
+from repro.harness.replay import narrate
+from repro.protocols import build_phase_king, build_subquadratic_ba
+from repro.types import SecurityParameters
+
+PARAMS = SecurityParameters(lam=24, epsilon=0.1)
+
+
+class TestNarrate:
+    def _run(self, seed=0, adversary=False):
+        n, f = 120, 30
+        instance = build_subquadratic_ba(
+            n, f, [i % 2 for i in range(n)], seed=seed, params=PARAMS)
+        attacker = (StaticEquivocationAdversary(instance)
+                    if adversary else None)
+        return run_instance(instance, f, attacker, seed=seed)
+
+    def test_narrative_contains_phases_and_outcome(self):
+        text = narrate(self._run())
+        assert "Vote" in text
+        assert "Commit" in text
+        assert "outcome: consistent=True" in text
+
+    def test_narrative_reports_decisions(self):
+        text = narrate(self._run())
+        assert "nodes decided" in text
+
+    def test_narrative_reports_proposals_with_cert_ranks(self):
+        result = self._run(seed=3)
+        if result.rounds_executed > 3:  # went past iteration 1
+            text = narrate(result)
+            assert "proposal: node" in text
+            assert "cert rank" in text
+
+    def test_adversarial_run_shows_both_bits(self):
+        text = narrate(self._run(seed=1, adversary=True))
+        assert "bit0=" in text and "bit1=" in text
+
+    def test_phase_king_mode(self):
+        n, f = 60, 15
+        instance = build_phase_king(n, f, [1] * n, seed=0, epochs=4)
+        result = run_instance(instance, f, seed=0)
+        text = narrate(result, aba=False)
+        assert "acks/proposes" in text
+        assert "outcome: consistent=True" in text
+
+    def test_round_cap(self):
+        result = self._run()
+        text = narrate(result, max_rounds=1)
+        body_lines = [line for line in text.splitlines()
+                      if line.startswith("round") and "decided" not in line]
+        assert len(body_lines) == 1

@@ -1,0 +1,27 @@
+"""Tests for deterministic randomness derivation."""
+
+from repro.rng import derive_rng, derive_seed
+
+
+class TestDeriveRng:
+    def test_same_labels_same_stream(self):
+        a = derive_rng(7, "node", 3)
+        b = derive_rng(7, "node", 3)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_labels_differ(self):
+        a = derive_rng(7, "node", 3)
+        b = derive_rng(7, "node", 4)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(7, "node", 3)
+        b = derive_rng(8, "node", 3)
+        assert a.random() != b.random()
+
+    def test_label_path_is_not_ambiguous(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+    def test_string_and_int_seeds_supported(self):
+        assert derive_rng("exp-1", "x").random() != derive_rng(1, "x").random()

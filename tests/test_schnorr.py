@@ -1,0 +1,76 @@
+"""Tests for Schnorr signatures."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.schnorr import (
+    SchnorrKeyPair,
+    SchnorrSignature,
+    sign,
+    verify,
+)
+from repro.crypto.groups import TEST_GROUP
+
+
+class TestSignVerify:
+    def test_roundtrip(self, group, rng):
+        keypair = SchnorrKeyPair.generate(group, rng)
+        signature = sign(keypair, "message", rng)
+        assert verify(group, keypair.public, "message", signature)
+
+    def test_structured_messages(self, group, rng):
+        keypair = SchnorrKeyPair.generate(group, rng)
+        message = ("Vote", 3, 1)
+        signature = sign(keypair, message, rng)
+        assert verify(group, keypair.public, message, signature)
+        assert not verify(group, keypair.public, ("Vote", 3, 0), signature)
+
+    def test_wrong_key_rejected(self, group, rng):
+        alice = SchnorrKeyPair.generate(group, rng)
+        bob = SchnorrKeyPair.generate(group, rng)
+        signature = sign(alice, "m", rng)
+        assert not verify(group, bob.public, "m", signature)
+
+    def test_tampered_challenge_rejected(self, group, rng):
+        keypair = SchnorrKeyPair.generate(group, rng)
+        signature = sign(keypair, "m", rng)
+        forged = SchnorrSignature(
+            challenge=(signature.challenge + 1) % group.q,
+            response=signature.response)
+        assert not verify(group, keypair.public, "m", forged)
+
+    def test_tampered_response_rejected(self, group, rng):
+        keypair = SchnorrKeyPair.generate(group, rng)
+        signature = sign(keypair, "m", rng)
+        forged = SchnorrSignature(
+            challenge=signature.challenge,
+            response=(signature.response + 1) % group.q)
+        assert not verify(group, keypair.public, "m", forged)
+
+    def test_out_of_range_scalars_rejected(self, group, rng):
+        keypair = SchnorrKeyPair.generate(group, rng)
+        bad = SchnorrSignature(challenge=group.q, response=1)
+        assert not verify(group, keypair.public, "m", bad)
+
+    def test_invalid_public_key_rejected(self, group, rng):
+        keypair = SchnorrKeyPair.generate(group, rng)
+        signature = sign(keypair, "m", rng)
+        assert not verify(group, 0, "m", signature)
+
+    def test_signatures_are_randomized(self, group, rng):
+        keypair = SchnorrKeyPair.generate(group, rng)
+        s1 = sign(keypair, "m", rng)
+        s2 = sign(keypair, "m", rng)
+        assert s1 != s2  # fresh nonce each time
+        assert verify(group, keypair.public, "m", s1)
+        assert verify(group, keypair.public, "m", s2)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20)
+    def test_roundtrip_property(self, payload):
+        rng = random.Random(payload)
+        keypair = SchnorrKeyPair.generate(TEST_GROUP, rng)
+        signature = sign(keypair, payload, rng)
+        assert verify(TEST_GROUP, keypair.public, payload, signature)
+        assert not verify(TEST_GROUP, keypair.public, payload + 1, signature)

@@ -1,0 +1,133 @@
+"""Tests for the Definition 20 selective-opening game apparatus."""
+
+import pytest
+
+from repro.crypto.games import (
+    ComplianceViolation,
+    RANDOM_WORLD,
+    REAL_WORLD,
+    SelectiveOpeningChallenger,
+    run_distinguisher,
+    statistical_distinguisher,
+)
+from repro.errors import ReproError
+
+
+class TestChallengerMechanics:
+    def test_create_and_evaluate(self):
+        challenger = SelectiveOpeningChallenger(REAL_WORLD, seed=1)
+        index = challenger.create_instance()
+        value = challenger.evaluate(index, "m")
+        assert challenger.group.is_element(value)
+
+    def test_evaluations_are_deterministic(self):
+        challenger = SelectiveOpeningChallenger(REAL_WORLD, seed=1)
+        index = challenger.create_instance()
+        assert challenger.evaluate(index, "m") == challenger.evaluate(
+            index, "m")
+
+    def test_corrupt_reveals_the_real_key(self):
+        """Selective opening hands over exactly the instance's key: the
+        revealed key re-derives every past and future evaluation."""
+        from repro.crypto.prf import DdhPrf
+        challenger = SelectiveOpeningChallenger(REAL_WORLD, seed=2)
+        index = challenger.create_instance()
+        observed = challenger.evaluate(index, "m")
+        key = challenger.corrupt(index)
+        rebuilt = DdhPrf(challenger.group, key)
+        assert rebuilt.evaluate("m") == observed
+
+    def test_real_world_challenges_match_prf(self):
+        challenger = SelectiveOpeningChallenger(REAL_WORLD, seed=3)
+        index = challenger.create_instance()
+        value = challenger.challenge(index, "c")
+        key = challenger.corrupt(challenger.create_instance())
+        # independent instance corruption doesn't disturb the challenge
+        assert challenger.challenge(index, "c") == value
+
+    def test_random_world_is_consistent_per_query(self):
+        challenger = SelectiveOpeningChallenger(RANDOM_WORLD, seed=3)
+        index = challenger.create_instance()
+        assert challenger.challenge(index, "c") == challenger.challenge(
+            index, "c")
+
+    def test_worlds_differ(self):
+        real = SelectiveOpeningChallenger(REAL_WORLD, seed=4)
+        rand = SelectiveOpeningChallenger(RANDOM_WORLD, seed=4)
+        i1, i2 = real.create_instance(), rand.create_instance()
+        assert real.challenge(i1, "x") != rand.challenge(i2, "x")
+
+    def test_unknown_instance_rejected(self):
+        challenger = SelectiveOpeningChallenger(REAL_WORLD)
+        with pytest.raises(ReproError):
+            challenger.evaluate(5, "m")
+
+    def test_invalid_world_bit_rejected(self):
+        with pytest.raises(ValueError):
+            SelectiveOpeningChallenger(7)
+
+
+class TestCompliance:
+    def test_corrupting_the_challenge_instance_is_flagged(self):
+        challenger = SelectiveOpeningChallenger(REAL_WORLD, seed=5)
+        index = challenger.create_instance()
+        challenger.challenge(index, "m")
+        challenger.corrupt(index)
+        with pytest.raises(ComplianceViolation):
+            challenger.assert_compliant()
+
+    def test_challenge_duplicating_evaluation_is_flagged(self):
+        challenger = SelectiveOpeningChallenger(REAL_WORLD, seed=5)
+        index = challenger.create_instance()
+        challenger.evaluate(index, "m")
+        challenger.challenge(index, "m")
+        with pytest.raises(ComplianceViolation):
+            challenger.assert_compliant()
+
+    def test_compliant_run_passes(self):
+        challenger = SelectiveOpeningChallenger(REAL_WORLD, seed=5)
+        a = challenger.create_instance()
+        b = challenger.create_instance()
+        challenger.evaluate(a, "m1")
+        challenger.corrupt(a)
+        challenger.challenge(b, "m2")
+        challenger.assert_compliant()
+
+    def test_non_compliant_trivial_win_demonstration(self):
+        """Why compliance matters: corrupting the challenge instance lets
+        the adversary recompute the challenge and win with certainty."""
+        from repro.crypto.prf import DdhPrf
+
+        def cheating_adversary(challenger):
+            index = challenger.create_instance()
+            value = challenger.challenge(index, "m")
+            key = challenger.corrupt(index)  # non-compliant!
+            return (REAL_WORLD
+                    if DdhPrf(challenger.group, key).evaluate("m") == value
+                    else RANDOM_WORLD)
+
+        # The cheat distinguishes perfectly...
+        real = SelectiveOpeningChallenger(REAL_WORLD, seed=6)
+        rand = SelectiveOpeningChallenger(RANDOM_WORLD, seed=6)
+        assert cheating_adversary(real) == REAL_WORLD
+        assert cheating_adversary(rand) == RANDOM_WORLD
+        # ...and is caught by the compliance check.
+        with pytest.raises(ComplianceViolation):
+            real.assert_compliant()
+
+
+class TestStatisticalDistinguisher:
+    def test_compliant_distinguisher_has_no_advantage(self):
+        """Over many seeds the statistical adversary's guesses are
+        uncorrelated with the world bit (advantage ~ 0)."""
+        agreements = 0
+        trials = 40
+        for seed in range(trials):
+            real_guess, random_guess = run_distinguisher(
+                statistical_distinguisher, seed=seed)
+            # "Winning" both worlds means distinguishing.
+            agreements += (real_guess == REAL_WORLD
+                           and random_guess == RANDOM_WORLD)
+        # A distinguisher with advantage δ wins ~(1/2 + δ)·trials... here
+        # expect ~25% (two independent fair guesses); allow wide noise.
+        assert agreements < 0.6 * trials

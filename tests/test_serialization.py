@@ -1,0 +1,96 @@
+"""Tests for canonical encoding and size accounting."""
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.serialization import canonical_bytes, encoded_size_bits
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int
+    y: int
+
+
+@dataclass(frozen=True)
+class Wrapper:
+    label: str
+    point: Point
+
+
+class TestEncodedSize:
+    def test_small_int_is_one_word(self):
+        assert encoded_size_bits(7) == 64
+        assert encoded_size_bits(-7) == 64
+
+    def test_big_int_sized_by_bytes(self):
+        value = 1 << 256
+        assert encoded_size_bits(value) == 8 * ((value.bit_length() + 7) // 8)
+
+    def test_bytes_have_length_prefix(self):
+        assert encoded_size_bits(b"abcd") == 32 + 32
+
+    def test_string_counts_utf8(self):
+        assert encoded_size_bits("abc") == 32 + 24
+
+    def test_none_and_bool_are_one_byte(self):
+        assert encoded_size_bits(None) == 8
+        assert encoded_size_bits(True) == 8
+
+    def test_dataclass_sums_fields_plus_tag(self):
+        assert encoded_size_bits(Point(1, 2)) == 32 + 64 + 64
+
+    def test_nested_dataclass(self):
+        size = encoded_size_bits(Wrapper("ab", Point(1, 2)))
+        assert size == 32 + (32 + 16) + (32 + 64 + 64)
+
+    def test_tuple_and_list_agree(self):
+        assert encoded_size_bits((1, 2)) == encoded_size_bits([1, 2])
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            encoded_size_bits(object())
+
+    @given(st.lists(st.integers(min_value=-(2**40), max_value=2**40)))
+    def test_list_size_is_sum_plus_prefix(self, values):
+        expected = 32 + sum(encoded_size_bits(v) for v in values)
+        assert encoded_size_bits(values) == expected
+
+
+class TestCanonicalBytes:
+    def test_deterministic(self):
+        assert canonical_bytes(Point(3, 4)) == canonical_bytes(Point(3, 4))
+
+    def test_distinguishes_types(self):
+        assert canonical_bytes(1) != canonical_bytes("1")
+        assert canonical_bytes(True) != canonical_bytes(1)
+        assert canonical_bytes(b"x") != canonical_bytes("x")
+
+    def test_distinguishes_field_values(self):
+        assert canonical_bytes(Point(1, 2)) != canonical_bytes(Point(2, 1))
+
+    def test_distinguishes_nesting(self):
+        assert canonical_bytes((1, (2, 3))) != canonical_bytes((1, 2, 3))
+
+    def test_sets_are_order_independent(self):
+        assert canonical_bytes({3, 1, 2}) == canonical_bytes({2, 3, 1})
+
+    def test_dicts_are_order_independent(self):
+        assert (canonical_bytes({"a": 1, "b": 2})
+                == canonical_bytes({"b": 2, "a": 1}))
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+    @given(st.tuples(st.integers(), st.text(max_size=20)),
+           st.tuples(st.integers(), st.text(max_size=20)))
+    def test_injective_on_simple_tuples(self, left, right):
+        if left != right:
+            assert canonical_bytes(left) != canonical_bytes(right)
+
+    @given(st.integers())
+    def test_int_roundtrip_stability(self, value):
+        assert canonical_bytes(value) == canonical_bytes(value)

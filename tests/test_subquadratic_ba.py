@@ -1,0 +1,124 @@
+"""End-to-end tests for the headline subquadratic BA (Appendix C.2)."""
+
+import pytest
+
+from repro.adversaries import (
+    AdaptiveSpeakerAdversary,
+    CrashAdversary,
+    StaticEquivocationAdversary,
+)
+from repro.errors import ConfigurationError
+from repro.harness import run_instance, run_trials
+from repro.protocols import build_subquadratic_ba
+from repro.protocols.subquadratic_ba import committee_threshold
+from repro.types import SecurityParameters
+from tests.conftest import mixed_inputs
+
+PARAMS = SecurityParameters(lam=30, epsilon=0.1)
+
+
+class TestHonestExecutions:
+    def test_unanimous_inputs(self):
+        n, f = 200, 60
+        instance = build_subquadratic_ba(n, f, [1] * n, seed=0, params=PARAMS)
+        result = run_instance(instance, f, seed=0)
+        assert result.consistent()
+        assert set(result.honest_outputs) == {1}
+        assert result.all_decided()
+
+    def test_mixed_inputs_agree(self):
+        n, f = 200, 60
+        stats = run_trials(build_subquadratic_ba, f=f, seeds=range(5),
+                           n=n, inputs=mixed_inputs(n), params=PARAMS)
+        assert stats.consistency_rate == 1.0
+        assert stats.termination_rate == 1.0
+
+    def test_sublinear_speakers(self):
+        """Only O(λ²) multicasts regardless of n — Theorem 2's point."""
+        n, f = 500, 150
+        instance = build_subquadratic_ba(n, f, [1] * n, seed=1, params=PARAMS)
+        result = run_instance(instance, f, seed=1)
+        assert result.metrics.multicast_complexity_messages < n
+
+    def test_multicast_count_stable_across_n(self):
+        counts = []
+        for n in (128, 512):
+            stats = run_trials(build_subquadratic_ba, f=int(0.25 * n),
+                               seeds=range(3), n=n, inputs=[1] * n,
+                               params=PARAMS)
+            counts.append(stats.mean_multicasts)
+        # Within 2x of each other while n varies 4x.
+        assert counts[1] < 2 * counts[0] + 10
+
+    def test_expected_constant_rounds(self):
+        n, f = 150, 45
+        stats = run_trials(build_subquadratic_ba, f=f, seeds=range(6),
+                           n=n, inputs=mixed_inputs(n), params=PARAMS)
+        assert stats.mean_rounds < 40
+
+
+class TestAdversarialExecutions:
+    def test_crash_faults_tolerated(self):
+        n, f = 200, 90
+        stats = run_trials(build_subquadratic_ba, f=f, seeds=range(4),
+                           n=n, inputs=[1] * n, params=PARAMS,
+                           adversary_factory=lambda inst: CrashAdversary())
+        assert stats.consistency_rate == 1.0
+        assert stats.validity_rate == 1.0
+
+    def test_static_equivocation_consistency(self):
+        n, f = 200, 60
+        stats = run_trials(build_subquadratic_ba, f=f, seeds=range(5),
+                           n=n, inputs=mixed_inputs(n), params=PARAMS,
+                           adversary_factory=StaticEquivocationAdversary)
+        assert stats.consistency_rate == 1.0
+
+    def test_adaptive_speaker_corruption_survived(self):
+        """Corrupting whoever speaks gains nothing: bit-specific
+        eligibility makes the flipped-vote lottery fresh (Section 3.2)."""
+        n, f = 200, 60
+        stats = run_trials(build_subquadratic_ba, f=f, seeds=range(5),
+                           n=n, inputs=[1] * n, params=PARAMS,
+                           adversary_factory=AdaptiveSpeakerAdversary)
+        assert stats.consistency_rate == 1.0
+        assert stats.validity_rate == 1.0
+
+
+class TestRealCryptoMode:
+    def test_vrf_mode_runs_and_agrees(self):
+        n, f = 24, 7
+        params = SecurityParameters(lam=10, epsilon=0.1)
+        instance = build_subquadratic_ba(n, f, [1] * n, seed=2,
+                                         params=params, mode="vrf")
+        result = run_instance(instance, f, seed=2)
+        assert result.consistent()
+        assert set(result.honest_outputs) == {1}
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_subquadratic_ba(10, 3, [0] * 10, mode="quantum")
+
+
+class TestConfiguration:
+    def test_threshold_is_half_lambda(self):
+        assert committee_threshold(SecurityParameters(lam=30)) == 15
+        assert committee_threshold(SecurityParameters(lam=31)) == 16
+
+    def test_requires_honest_majority(self):
+        with pytest.raises(ConfigurationError):
+            build_subquadratic_ba(10, 5, [0] * 10)
+
+    def test_requires_input_per_node(self):
+        with pytest.raises(ConfigurationError):
+            build_subquadratic_ba(10, 3, [0, 1])
+
+    def test_deterministic_replay(self):
+        n, f = 100, 30
+        r1 = run_instance(
+            build_subquadratic_ba(n, f, mixed_inputs(n), seed=5,
+                                  params=PARAMS), f, seed=5)
+        r2 = run_instance(
+            build_subquadratic_ba(n, f, mixed_inputs(n), seed=5,
+                                  params=PARAMS), f, seed=5)
+        assert r1.outputs == r2.outputs
+        assert r1.rounds_executed == r2.rounds_executed

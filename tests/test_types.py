@@ -1,0 +1,68 @@
+"""Tests for repro.types."""
+
+import pytest
+
+from repro.types import AdversaryModel, SecurityParameters, other_bit, validate_bit
+
+
+class TestBits:
+    def test_other_bit_flips(self):
+        assert other_bit(0) == 1
+        assert other_bit(1) == 0
+
+    def test_other_bit_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            other_bit(2)
+        with pytest.raises(ValueError):
+            other_bit(-1)
+
+    def test_validate_bit_accepts_bits(self):
+        assert validate_bit(0) == 0
+        assert validate_bit(1) == 1
+
+    def test_validate_bit_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            validate_bit("1")
+
+
+class TestAdversaryModel:
+    def test_only_strongly_adaptive_removes(self):
+        assert AdversaryModel.STRONGLY_ADAPTIVE.can_remove_after_the_fact
+        assert not AdversaryModel.ADAPTIVE.can_remove_after_the_fact
+        assert not AdversaryModel.STATIC.can_remove_after_the_fact
+
+    def test_static_cannot_corrupt_adaptively(self):
+        assert not AdversaryModel.STATIC.can_corrupt_adaptively
+        assert AdversaryModel.ADAPTIVE.can_corrupt_adaptively
+        assert AdversaryModel.STRONGLY_ADAPTIVE.can_corrupt_adaptively
+
+
+class TestSecurityParameters:
+    def test_committee_probability_is_lambda_over_n(self):
+        params = SecurityParameters(lam=40)
+        assert params.committee_probability(400) == pytest.approx(0.1)
+
+    def test_committee_probability_caps_at_one(self):
+        params = SecurityParameters(lam=40)
+        assert params.committee_probability(10) == 1.0
+
+    def test_leader_probability_is_half_over_n(self):
+        params = SecurityParameters()
+        assert params.leader_probability(100) == pytest.approx(1 / 200)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            SecurityParameters(epsilon=0.5)
+        with pytest.raises(ValueError):
+            SecurityParameters(epsilon=0.0)
+
+    def test_rejects_non_positive_lambda(self):
+        with pytest.raises(ValueError):
+            SecurityParameters(lam=0)
+
+    def test_rejects_bad_n(self):
+        params = SecurityParameters()
+        with pytest.raises(ValueError):
+            params.committee_probability(0)
+        with pytest.raises(ValueError):
+            params.leader_probability(0)

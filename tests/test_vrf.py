@@ -1,0 +1,84 @@
+"""Tests for the committed-key VRF (Appendix D compiler)."""
+
+from dataclasses import replace
+
+from repro.crypto.vrf import VrfKeyPair, VrfOutput, verify_vrf
+
+
+class TestVrfCorrectness:
+    def test_evaluate_verify_roundtrip(self, group, rng):
+        keypair = VrfKeyPair.generate(group, rng)
+        output = keypair.evaluate(("Vote", 1, 0), rng)
+        assert verify_vrf(group, keypair.public, ("Vote", 1, 0), output)
+
+    def test_wrong_message_rejected(self, group, rng):
+        keypair = VrfKeyPair.generate(group, rng)
+        output = keypair.evaluate(("Vote", 1, 0), rng)
+        assert not verify_vrf(group, keypair.public, ("Vote", 1, 1), output)
+
+    def test_wrong_key_rejected(self, group, rng):
+        alice = VrfKeyPair.generate(group, rng)
+        bob = VrfKeyPair.generate(group, rng)
+        output = alice.evaluate("m", rng)
+        assert not verify_vrf(group, bob.public, "m", output)
+
+    def test_beta_in_range(self, group, rng):
+        keypair = VrfKeyPair.generate(group, rng)
+        output = keypair.evaluate("m", rng)
+        assert 0 <= output.beta < 2**256
+
+    def test_tampered_beta_rejected(self, group, rng):
+        keypair = VrfKeyPair.generate(group, rng)
+        output = keypair.evaluate("m", rng)
+        forged = replace(output, beta=(output.beta + 1) % 2**256)
+        assert not verify_vrf(group, keypair.public, "m", forged)
+
+    def test_tampered_gamma_rejected(self, group, rng):
+        keypair = VrfKeyPair.generate(group, rng)
+        output = keypair.evaluate("m", rng)
+        forged = replace(output, gamma=group.exp(output.gamma, 2))
+        assert not verify_vrf(group, keypair.public, "m", forged)
+
+
+class TestVrfUniqueness:
+    def test_deterministic_evaluation(self, group, rng):
+        """The pseudorandom value is a function of (key, message) even
+        though proofs are randomized — the uniqueness property the
+        bit-specific eligibility argument relies on."""
+        keypair = VrfKeyPair.generate(group, rng)
+        out1 = keypair.evaluate("m", rng)
+        out2 = keypair.evaluate("m", rng)
+        assert out1.gamma == out2.gamma
+        assert out1.beta == out2.beta
+        # Both (independently randomized) proofs verify.
+        assert verify_vrf(group, keypair.public, "m", out1)
+        assert verify_vrf(group, keypair.public, "m", out2)
+
+    def test_no_grinding_another_beta(self, group, rng):
+        """A proof cannot vouch for a different gamma: perfect binding of
+        the committed key pins the unique evaluation."""
+        keypair = VrfKeyPair.generate(group, rng)
+        out = keypair.evaluate("m", rng)
+        other = VrfKeyPair.generate(group, rng)
+        foreign = other.evaluate("m", rng)
+        mixed = VrfOutput(gamma=foreign.gamma, beta=foreign.beta,
+                          proof=out.proof)
+        assert not verify_vrf(group, keypair.public, "m", mixed)
+
+    def test_distinct_messages_distinct_outputs(self, group, rng):
+        keypair = VrfKeyPair.generate(group, rng)
+        betas = {keypair.evaluate(("topic", i), rng).beta for i in range(20)}
+        assert len(betas) == 20
+
+
+class TestVrfPseudorandomness:
+    def test_beta_roughly_uniform(self, group, rng):
+        keypair = VrfKeyPair.generate(group, rng)
+        below_half = sum(
+            keypair.evaluate(("m", i), rng).beta < 2**255 for i in range(200))
+        assert 60 < below_half < 140
+
+    def test_keys_give_independent_outputs(self, group, rng):
+        k1 = VrfKeyPair.generate(group, rng)
+        k2 = VrfKeyPair.generate(group, rng)
+        assert k1.evaluate("m", rng).beta != k2.evaluate("m", rng).beta
