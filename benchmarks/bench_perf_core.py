@@ -1,0 +1,50 @@
+"""Perf-core microbenchmark: large-n execution throughput.
+
+Unlike the E1–E12 experiment benchmarks (which time whole experiment
+tables), this one times the simulation core itself on the profile the
+paper's headline experiments depend on: a quadratic-BA execution at large
+n, where certificate verification and delivery fan-out dominate.  Run with
+``pytest benchmarks/bench_perf_core.py``; record the tracked numbers with
+``python scripts/record_bench.py``.
+"""
+
+from repro.harness.runner import run_instance
+from repro.protocols.quadratic_ba import build_quadratic_ba
+from repro.protocols.subquadratic_ba import build_subquadratic_ba
+
+
+def _run_quadratic(n, f, seed=1, **kwargs):
+    instance = build_quadratic_ba(n, f, [i % 2 for i in range(n)], seed=seed)
+    return run_instance(instance, f, seed=seed, **kwargs)
+
+
+def bench_quadratic_ba_n96(benchmark):
+    result = benchmark.pedantic(
+        lambda: _run_quadratic(96, 47), rounds=3, iterations=1)
+    assert result.consistent()
+
+
+def bench_quadratic_ba_n192(benchmark):
+    result = benchmark.pedantic(
+        lambda: _run_quadratic(192, 95), rounds=1, iterations=1)
+    assert result.consistent()
+
+
+def bench_quadratic_ba_n192_metrics_only(benchmark):
+    """Same profile without transcript retention (long-execution mode)."""
+    result = benchmark.pedantic(
+        lambda: _run_quadratic(192, 95, transcript_retention="metrics-only"),
+        rounds=1, iterations=1)
+    assert result.consistent()
+    assert result.transcript == []
+
+
+def bench_subquadratic_ba_n256(benchmark):
+    def run():
+        n, f = 256, 100
+        instance = build_subquadratic_ba(
+            n, f, [i % 2 for i in range(n)], seed=1)
+        return run_instance(instance, f, seed=1)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.consistent()

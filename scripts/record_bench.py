@@ -1,0 +1,96 @@
+"""Record the perf-core trajectory into BENCH_core.json.
+
+Runs the n = 96 / n = 192 quadratic-BA profiles (the paper's large-n
+hot path), counting wall time, envelope throughput, and verification-call
+counts, and writes the numbers to ``BENCH_core.json`` at the repo root so
+the perf trajectory is tracked PR-over-PR.
+
+Usage::
+
+    PYTHONPATH=src python scripts/record_bench.py [--output BENCH_core.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.harness.profiling import profile_check_calls
+from repro.protocols.quadratic_ba import build_quadratic_ba
+
+#: Seed-state reference numbers (pre-optimization, same machine class),
+#: kept in the file so every snapshot carries its own baseline.
+SEED_BASELINE = {
+    "quadratic-ba-n192": {
+        "authenticator_check_calls": 7224671,
+        "wall_seconds_reference": 8.04,
+    },
+    "quadratic-ba-n96": {
+        "authenticator_check_calls": 921263,
+        "wall_seconds_reference": 1.09,
+    },
+}
+
+
+def profile_quadratic(n: int, f: int, seed: int = 1) -> dict:
+    instance = build_quadratic_ba(n, f, [i % 2 for i in range(n)], seed=seed)
+    profile = profile_check_calls(instance, f, seed=seed)
+    result, wall = profile.result, profile.wall_seconds
+
+    envelopes = len(result.transcript)
+    return {
+        "n": n,
+        "f": f,
+        "seed": seed,
+        "wall_seconds": round(wall, 4),
+        "rounds_executed": result.rounds_executed,
+        "envelopes": envelopes,
+        "envelopes_per_second": round(envelopes / wall, 1) if wall else None,
+        "authenticator_check_calls": profile.check_calls,
+        "multicast_complexity_messages":
+            result.metrics.multicast_complexity_messages,
+        "multicast_complexity_bits": result.metrics.multicast_complexity_bits,
+        "consistent": result.consistent(),
+        "all_decided": result.all_decided(),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_core.json"))
+    args = parser.parse_args()
+
+    profiles = {
+        "quadratic-ba-n96": profile_quadratic(96, 47),
+        "quadratic-ba-n192": profile_quadratic(192, 95),
+    }
+    for name, profile in profiles.items():
+        baseline = SEED_BASELINE.get(name, {})
+        seed_calls = baseline.get("authenticator_check_calls")
+        if seed_calls:
+            profile["check_call_reduction_vs_seed"] = round(
+                seed_calls / max(profile["authenticator_check_calls"], 1), 1)
+
+    snapshot = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "seed_baseline": SEED_BASELINE,
+        "profiles": profiles,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {output}")
+    for name, profile in profiles.items():
+        print(f"  {name}: {profile['wall_seconds']}s wall, "
+              f"{profile['authenticator_check_calls']} check calls, "
+              f"{profile['envelopes_per_second']} envelopes/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -118,7 +118,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     instance = builder(**kwargs)
     adversary = ADVERSARIES[args.adversary](instance)
     result = run_instance(instance, f, adversary, seed=args.seed)
-    trace = summarize_transcript(result.transcript)
+    trace = summarize_transcript(result.require_transcript())
     print(f"protocol:            {instance.name}")
     print(f"n / f:               {n} / {f}  (adversary: {args.adversary})")
     print(f"consistent:          {result.consistent()}")

@@ -30,6 +30,7 @@ from repro.crypto.schnorr import sign as schnorr_sign
 from repro.crypto.schnorr import verify as schnorr_verify
 from repro.errors import ConfigurationError, ForgeryAttempt
 from repro.rng import derive_rng
+from repro.serialization import type_tagged
 from repro.types import NodeId
 
 IDEAL_MODE = "ideal"
@@ -86,6 +87,12 @@ class KeyRegistry:
         # it makes repeated verifications of the same signed statement
         # (every certificate is re-checked by every recipient) a dict hit.
         self._digest_cache: dict = {}
+        # Successful ideal-mode verifications, keyed by
+        # (node_id, message, digest).  Only positive results are cached:
+        # a True can never become False (digests are deterministic and
+        # ``_issued`` only grows), whereas a not-yet-issued signature
+        # could legitimately verify later.
+        self._verified: set = set()
         self._rng = rng
         if mode == REAL_MODE:
             self._keypairs = [SchnorrKeyPair.generate(group, rng) for _ in range(n)]
@@ -113,7 +120,10 @@ class KeyRegistry:
 
     def _expected_digest(self, node_id: NodeId, message: Any) -> bytes:
         try:
-            key = (node_id, message)
+            # type_tagged so the cache is exactly as fine-grained as the
+            # canonical encoding being digested (True == 1 as a dict key,
+            # but they hash differently).
+            key = (type_tagged(node_id), type_tagged(message))
             cached = self._digest_cache.get(key)
         except TypeError:
             # Unhashable message: compute without caching.
@@ -137,9 +147,22 @@ class KeyRegistry:
             return False
         if signature.signer != node_id:
             return False
+        try:
+            # type_tagged because dict equality is coarser than the
+            # canonical encoding the digest is computed over (True == 1,
+            # but they hash differently).
+            key = (type_tagged(node_id), type_tagged(message),
+                   signature.digest)
+            if key in self._verified:
+                return True
+        except TypeError:
+            key = None  # unhashable message: verify without memoization
         expected = self._expected_digest(node_id, message)
-        return (signature.digest == expected
-                and (node_id, signature.digest) in self._issued)
+        valid = (signature.digest == expected
+                 and (node_id, signature.digest) in self._issued)
+        if valid and key is not None:
+            self._verified.add(key)
+        return valid
 
     def signature_bits(self) -> int:
         """Nominal size of one signature for accounting purposes."""

@@ -35,6 +35,12 @@ from repro.sim.result import ExecutionResult
 from repro.types import Bit, NodeId
 
 
+def _require_transcript(result: ExecutionResult) -> None:
+    """Transcript checkers are meaningless on a discarded transcript: an
+    empty list would make every invariant vacuously pass."""
+    result.require_transcript()
+
+
 def _certificates_in_transcript(result: ExecutionResult) -> List[Certificate]:
     """Every certificate attached to any message on the wire."""
     certificates: List[Certificate] = []
@@ -73,6 +79,7 @@ def no_conflicting_certificates_after_decision(
         result: ExecutionResult, nodes) -> Optional[str]:
     """Lemma 13, checked on the wire.  Returns a violation description or
     None if the invariant holds."""
+    _require_transcript(result)
     decisions = decision_points(result, nodes)
     if not decisions:
         return None
@@ -91,6 +98,7 @@ def no_conflicting_certificates_after_decision(
 def honest_votes_unique_per_iteration(result: ExecutionResult
                                       ) -> Optional[str]:
     """So-far-honest nodes vote for at most one bit per iteration."""
+    _require_transcript(result)
     seen: Dict[Tuple[NodeId, int], Set[Bit]] = {}
     for envelope in result.transcript:
         payload = envelope.payload
@@ -110,6 +118,7 @@ def commits_carry_valid_certificates(result: ExecutionResult,
                                      threshold: int) -> Optional[str]:
     """Every honest commit's certificate matches its (iteration, bit) and
     carries a quorum of distinct voters."""
+    _require_transcript(result)
     for envelope in result.transcript:
         payload = envelope.payload
         if not isinstance(payload, CommitMsg) or not envelope.honest_sender:
@@ -132,6 +141,7 @@ def commits_carry_valid_certificates(result: ExecutionResult,
 def quorum_intersection_on_acks(result: ExecutionResult,
                                 threshold: int) -> Optional[str]:
     """Phase-king §3.1: no epoch has ample ACK sets for both bits."""
+    _require_transcript(result)
     acks: Dict[Tuple[int, Bit], Set[NodeId]] = {}
     for envelope in result.transcript:
         payload = envelope.payload

@@ -34,7 +34,7 @@ from repro.sim.result import ExecutionResult
 
 def _round_events(result: ExecutionResult) -> Dict[int, List]:
     events: Dict[int, List] = defaultdict(list)
-    for envelope in result.transcript:
+    for envelope in result.require_transcript():
         events[envelope.round_sent].append(envelope)
     return events
 

@@ -2,18 +2,18 @@
 
 ``run_instance`` wires a :class:`~repro.protocols.base.ProtocolInstance`
 into a :class:`~repro.sim.engine.Simulation` against an (optionally
-instance-aware) adversary; ``run_trials`` repeats a builder across seeds
-and aggregates the security predicates into a :class:`TrialStats`.
+instance-aware) adversary; ``run_trials`` repeats a builder across seeds —
+optionally fanning the seeds across worker processes — and aggregates the
+security predicates into a :class:`TrialStats`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.protocols.base import ProtocolInstance
 from repro.sim.adversary import Adversary
-from repro.sim.engine import Simulation
+from repro.sim.engine import TRANSCRIPT_FULL, Simulation
 from repro.sim.result import ExecutionResult
 from repro.types import AdversaryModel
 
@@ -28,6 +28,7 @@ def run_instance(
     model: AdversaryModel = AdversaryModel.ADAPTIVE,
     seed=0,
     max_rounds: Optional[int] = None,
+    transcript_retention: str = TRANSCRIPT_FULL,
 ) -> ExecutionResult:
     """Execute one protocol instance against one adversary."""
     simulation = Simulation(
@@ -40,80 +41,111 @@ def run_instance(
         inputs=instance.inputs,
         signing_capabilities=instance.signing_capabilities,
         mining_capabilities=instance.mining_capabilities,
+        transcript_retention=transcript_retention,
     )
     return simulation.run()
 
 
-@dataclass
 class TrialStats:
-    """Aggregated security predicates over repeated executions."""
+    """Aggregated security predicates over repeated executions.
 
-    results: List[ExecutionResult] = field(default_factory=list)
+    Each predicate is evaluated exactly once, when the result is added;
+    the rate properties read O(1) counters instead of re-scanning every
+    stored result on each access.  Results enter exclusively through
+    :meth:`add` (``results`` is a read-only view), so the counters can
+    never drift from the stored sample.
+    """
+
+    def __init__(self, results: Optional[List[ExecutionResult]] = None) -> None:
+        self._results: List[ExecutionResult] = []
+        self._consistent = 0
+        self._valid = 0
+        self._violations = 0
+        self._decided = 0
+        self._multicasts = 0
+        self._multicast_bits = 0
+        self._rounds = 0
+        self._corruptions = 0
+        for result in results or []:
+            self.add(result)
+
+    @property
+    def results(self) -> Tuple[ExecutionResult, ...]:
+        """The stored results, as an immutable view (use :meth:`add`)."""
+        return tuple(self._results)
 
     def add(self, result: ExecutionResult) -> None:
-        self.results.append(result)
+        self._results.append(result)
+        consistent = result.consistent()
+        valid = result.agreement_valid()
+        self._consistent += consistent
+        self._valid += valid
+        self._violations += not (consistent and valid)
+        self._decided += result.all_decided()
+        self._multicasts += result.metrics.multicast_complexity_messages
+        self._multicast_bits += result.metrics.multicast_complexity_bits
+        self._rounds += result.rounds_executed
+        self._corruptions += result.corruptions_used
 
     @property
     def trials(self) -> int:
-        return len(self.results)
+        return len(self._results)
 
     @property
     def consistency_rate(self) -> float:
-        if not self.results:
-            return 1.0
-        return sum(r.consistent() for r in self.results) / len(self.results)
+        return self._consistent / self.trials if self._results else 1.0
 
     @property
     def validity_rate(self) -> float:
-        if not self.results:
-            return 1.0
-        return sum(r.agreement_valid() for r in self.results) / len(self.results)
+        return self._valid / self.trials if self._results else 1.0
 
     @property
     def violation_rate(self) -> float:
-        if not self.results:
-            return 0.0
-        return sum(
-            not (r.consistent() and r.agreement_valid()) for r in self.results
-        ) / len(self.results)
+        return self._violations / self.trials if self._results else 0.0
 
     @property
     def termination_rate(self) -> float:
-        if not self.results:
-            return 1.0
-        return sum(r.all_decided() for r in self.results) / len(self.results)
+        return self._decided / self.trials if self._results else 1.0
 
     @property
     def mean_multicasts(self) -> float:
-        if not self.results:
-            return 0.0
-        return sum(r.metrics.multicast_complexity_messages
-                   for r in self.results) / len(self.results)
+        return self._multicasts / self.trials if self._results else 0.0
 
     @property
     def mean_multicast_bits(self) -> float:
-        if not self.results:
-            return 0.0
-        return sum(r.metrics.multicast_complexity_bits
-                   for r in self.results) / len(self.results)
+        return self._multicast_bits / self.trials if self._results else 0.0
 
     @property
     def mean_rounds(self) -> float:
-        if not self.results:
-            return 0.0
-        return sum(r.rounds_executed for r in self.results) / len(self.results)
+        return self._rounds / self.trials if self._results else 0.0
 
     @property
     def mean_corruptions(self) -> float:
-        if not self.results:
-            return 0.0
-        return sum(r.corruptions_used for r in self.results) / len(self.results)
+        return self._corruptions / self.trials if self._results else 0.0
 
     def decision_rounds(self) -> List[int]:
         rounds: List[int] = []
-        for result in self.results:
+        for result in self._results:
             rounds.extend(result.decision_rounds())
         return rounds
+
+
+def _run_one_trial(
+    builder: Callable[..., ProtocolInstance],
+    f: int,
+    seed,
+    adversary_factory: Optional[AdversaryFactory],
+    model: AdversaryModel,
+    transcript_retention: str,
+    builder_kwargs: dict,
+) -> ExecutionResult:
+    """One seed's build-and-run; module-level so worker processes can
+    receive it by pickle."""
+    instance = builder(f=f, seed=seed, **builder_kwargs)
+    adversary = (adversary_factory(instance)
+                 if adversary_factory is not None else None)
+    return run_instance(instance, f, adversary, model, seed=seed,
+                        transcript_retention=transcript_retention)
 
 
 def run_trials(
@@ -122,6 +154,8 @@ def run_trials(
     seeds: Sequence,
     adversary_factory: Optional[AdversaryFactory] = None,
     model: AdversaryModel = AdversaryModel.ADAPTIVE,
+    workers: int = 1,
+    transcript_retention: str = TRANSCRIPT_FULL,
     **builder_kwargs,
 ) -> TrialStats:
     """Build and run the protocol once per seed; aggregate the outcomes.
@@ -129,11 +163,31 @@ def run_trials(
     The builder receives ``seed=<seed>`` plus ``builder_kwargs``; the
     adversary factory (if any) is invoked on each fresh instance, so
     attacks can read the instance's services.
+
+    ``workers > 1`` fans the seeds across a ``ProcessPoolExecutor``.
+    Results are aggregated in seed order regardless of which worker
+    finishes first, so ``TrialStats`` is identical for any worker count
+    (each trial is already independently seeded).  The builder, the
+    adversary factory, and the execution results must be picklable —
+    true for all module-level builders in this repo.
     """
     stats = TrialStats()
-    for seed in seeds:
-        instance = builder(f=f, seed=seed, **builder_kwargs)
-        adversary = (adversary_factory(instance)
-                     if adversary_factory is not None else None)
-        stats.add(run_instance(instance, f, adversary, model, seed=seed))
+    seeds = list(seeds)
+    if workers > 1 and len(seeds) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(workers, len(seeds))) as pool:
+            futures = [
+                pool.submit(_run_one_trial, builder, f, seed,
+                            adversary_factory, model, transcript_retention,
+                            builder_kwargs)
+                for seed in seeds
+            ]
+            for future in futures:
+                stats.add(future.result())
+    else:
+        for seed in seeds:
+            stats.add(_run_one_trial(builder, f, seed, adversary_factory,
+                                     model, transcript_retention,
+                                     builder_kwargs))
     return stats

@@ -38,9 +38,11 @@ from repro.protocols.static_committee import build_static_committee
 from repro.protocols.round_eligibility import build_round_eligibility
 from repro.protocols.broadcast import build_broadcast_from_ba
 from repro.protocols.naive import build_naive_broadcast
+from repro.protocols.verification import VerificationCache
 
 __all__ = [
     "ProtocolInstance",
+    "VerificationCache",
     "build_quadratic_ba",
     "build_subquadratic_ba",
     "build_phase_king",

@@ -30,7 +30,7 @@ At any time, a quorum of iteration-``r`` commits for ``b`` (or a valid
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.protocols.base import Authenticator, ProposerPolicy
@@ -38,8 +38,8 @@ from repro.protocols.certificates import (
     Certificate,
     certificate_from_votes,
     rank,
-    verify_certificate,
 )
+from repro.protocols.verification import CACHE_LIMIT, VerificationCache
 from repro.protocols.messages import (
     CommitMsg,
     ProposeMsg,
@@ -89,6 +89,9 @@ class AbaConfig:
     authenticator: Authenticator
     proposer: ProposerPolicy
     max_iterations: int
+    #: Execution-wide memo for the public verification predicates; the
+    #: nodes of one instance share it (see repro.protocols.verification).
+    verification: VerificationCache = field(default_factory=VerificationCache)
 
 
 class AbaNode(Node):
@@ -110,15 +113,26 @@ class AbaNode(Node):
         self.last_vote: Optional[Bit] = None
         self.decision: Optional[Bit] = None
         self.decision_iteration: Optional[int] = None
-        # Certificate verification is pure and certificates are immutable
-        # (and kept alive by the network transcript), so memoize by
-        # identity: each certificate is checked once per node.
-        self._cert_cache: Dict[int, bool] = {}
+        # Verification of votes, certificates, and proposals is a public
+        # pure predicate, memoized by *content* and shared across the
+        # instance's nodes: every sender assembles its own content-equal
+        # certificate objects, and the historical per-node identity-keyed
+        # cache re-verified each copy from scratch.
+        self._verification = config.verification
+        # Per-node identity front for certificates: each received object
+        # is resolved at most once per node (entries pin the object, so
+        # ids cannot be recycled).  Unlike the shared cache this may hold
+        # negative results — the same "each object checked once" contract
+        # the original per-node cache had.
+        self._cert_cache: Dict[int, Tuple[Certificate, bool]] = {}
 
     # -- validation helpers --------------------------------------------------
+    def _check_auth(self, node_id: NodeId, topic: Any, auth: Any) -> bool:
+        return self._verification.check_auth(
+            self.config.authenticator, node_id, topic, auth)
+
     def _check_vote_auth(self, vote: SignedVote) -> bool:
-        return self.config.authenticator.check(
-            vote.voter, ("Vote", vote.iteration, vote.bit), vote.auth)
+        return self._verification.check_vote(self.config.authenticator, vote)
 
     def _check_certificate(self, certificate: Optional[Certificate],
                            expected_bit: Optional[Bit] = None) -> bool:
@@ -126,11 +140,15 @@ class AbaNode(Node):
             return True  # the fictitious iteration-0 certificate
         if expected_bit is not None and certificate.bit != expected_bit:
             return False
-        key = id(certificate)
-        if key not in self._cert_cache:
-            self._cert_cache[key] = verify_certificate(
-                certificate, self.config.threshold, self._check_vote_auth)
-        return self._cert_cache[key]
+        entry = self._cert_cache.get(id(certificate))
+        if entry is not None and entry[0] is certificate:
+            return entry[1]
+        result = self._verification.check_certificate(
+            certificate, self.config.threshold, self._check_vote_auth)
+        if len(self._cert_cache) >= CACHE_LIMIT:
+            self._cert_cache.clear()
+        self._cert_cache[id(certificate)] = (certificate, result)
+        return result
 
     def _absorb_certificate(self, certificate: Optional[Certificate]) -> None:
         """Track the highest-ranked certificate per bit (pre-validated)."""
@@ -143,8 +161,9 @@ class AbaNode(Node):
     def _proposal_valid(self, msg: ProposeMsg) -> bool:
         if msg.bit not in (0, 1):
             return False
-        if not self.config.proposer.check(msg.sender, msg.iteration,
-                                          msg.bit, msg.auth):
+        if not self._verification.check_proposal(
+                self.config.proposer, msg.sender, msg.iteration,
+                msg.bit, msg.auth):
             return False
         return self._check_certificate(msg.certificate, expected_bit=msg.bit)
 
@@ -184,7 +203,7 @@ class AbaNode(Node):
 
     def _handle_status(self, msg: StatusMsg) -> None:
         topic = ("Status", msg.iteration, msg.bit)
-        if not self.config.authenticator.check(msg.sender, topic, msg.auth):
+        if not self._check_auth(msg.sender, topic, msg.auth):
             return
         if self._check_certificate(msg.certificate, expected_bit=msg.bit):
             self._absorb_certificate(msg.certificate)
@@ -199,7 +218,7 @@ class AbaNode(Node):
         if msg.bit not in (0, 1):
             return
         topic = ("Vote", msg.iteration, msg.bit)
-        if not self.config.authenticator.check(msg.sender, topic, msg.auth):
+        if not self._check_auth(msg.sender, topic, msg.auth):
             return
         if msg.iteration > 1:
             # Footnote 11: votes beyond iteration 1 carry the leader
@@ -216,9 +235,13 @@ class AbaNode(Node):
                      auth: Any) -> None:
         votes = self.votes_seen.setdefault((iteration, bit), {})
         votes.setdefault(voter, auth)
-        if len(votes) >= self.config.threshold:
+        if (len(votes) >= self.config.threshold
+                and rank(self.best_cert[bit]) < iteration):
             # A quorum of valid votes *is* a certificate, whether or not
-            # the commit condition later holds.
+            # the commit condition later holds.  Once best_cert holds an
+            # iteration-r certificate for this bit, re-assembling one from
+            # a larger vote set could never outrank it, so skip the
+            # (quadratic-in-n) rebuild on every extra vote.
             self._absorb_certificate(certificate_from_votes(
                 iteration, bit, votes, self.config.threshold))
 
@@ -226,7 +249,7 @@ class AbaNode(Node):
         if msg.bit not in (0, 1):
             return False
         topic = ("Commit", msg.iteration, msg.bit)
-        if not self.config.authenticator.check(msg.sender, topic, msg.auth):
+        if not self._check_auth(msg.sender, topic, msg.auth):
             return False
         certificate = msg.certificate
         if (certificate is None or certificate.iteration != msg.iteration
@@ -253,14 +276,13 @@ class AbaNode(Node):
         if commit.bit not in (0, 1):
             return False
         topic = ("Commit", commit.iteration, commit.bit)
-        return self.config.authenticator.check(commit.sender, topic,
-                                               commit.auth)
+        return self._check_auth(commit.sender, topic, commit.auth)
 
     def _handle_terminate(self, msg: TerminateMsg) -> Optional[Tuple[int, Bit]]:
         if msg.bit not in (0, 1):
             return None
         topic = ("Terminate", msg.bit)
-        if not self.config.authenticator.check(msg.sender, topic, msg.auth):
+        if not self._check_auth(msg.sender, topic, msg.auth):
             return None
         senders = set()
         for commit in msg.commits:

@@ -21,7 +21,7 @@ The same node class also runs the Section 3.2 compiled protocol (see
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.crypto.groups import SchnorrGroup, TEST_GROUP
@@ -35,6 +35,7 @@ from repro.protocols.base import (
     SignatureAuthenticator,
 )
 from repro.protocols.messages import AckMsg, PhaseKingProposeMsg
+from repro.protocols.verification import VerificationCache
 from repro.rng import Seed
 from repro.sim.leader import LeaderOracle, RoundRobinLeaderOracle
 from repro.sim.node import Node, RoundContext
@@ -49,6 +50,9 @@ class PhaseKingConfig:
     authenticator: Authenticator
     proposer: ProposerPolicy
     epochs: int
+    #: Execution-wide memo for the public verification predicates; the
+    #: nodes of one instance share it (see repro.protocols.verification).
+    verification: VerificationCache = field(default_factory=VerificationCache)
 
 
 def phase_king_rounds(epochs: int) -> int:
@@ -70,18 +74,24 @@ class PhaseKingNode(Node):
         self.acks_seen: Dict[Tuple[int, Bit], Set[NodeId]] = {}
         # epoch -> set of valid proposal bits heard.
         self.proposals_heard: Dict[int, Set[Bit]] = {}
+        # Content-addressed memo shared across the instance's nodes: an
+        # ACK or proposal is verified once per execution, not once per
+        # recipient.
+        self._verification = config.verification
 
     # -- message intake -----------------------------------------------------
     def _process_inbox(self, ctx: RoundContext) -> None:
         for delivery in ctx.inbox:
             msg = delivery.payload
             if isinstance(msg, PhaseKingProposeMsg):
-                if msg.bit in (0, 1) and self.config.proposer.check(
-                        msg.sender, msg.epoch, msg.bit, msg.auth):
+                if msg.bit in (0, 1) and self._verification.check_proposal(
+                        self.config.proposer, msg.sender, msg.epoch,
+                        msg.bit, msg.auth):
                     self.proposals_heard.setdefault(msg.epoch, set()).add(msg.bit)
             elif isinstance(msg, AckMsg):
-                if msg.bit in (0, 1) and self.config.authenticator.check(
-                        msg.sender, ("ACK", msg.epoch, msg.bit), msg.auth):
+                if msg.bit in (0, 1) and self._verification.check_auth(
+                        self.config.authenticator, msg.sender,
+                        ("ACK", msg.epoch, msg.bit), msg.auth):
                     self.acks_seen.setdefault(
                         (msg.epoch, msg.bit), set()).add(msg.sender)
 

@@ -32,6 +32,29 @@ _WORD_BITS = 64
 _LEN_PREFIX_BITS = 32
 _TAG_BITS = 32
 
+# Identity-keyed memo for dataclass sizes: the same (immutable) message
+# object is re-measured many times — one certificate object rides along
+# in every envelope that attaches it — and sizing is pure, so each
+# object's size is computed once.  Entries pin their object, so a
+# recycled id can never alias; deliberately NOT content-keyed, because
+# dataclass equality is coarser than the size model (a bool field
+# compares equal to an int field but encodes 8 bits, not 64).  Bounded so
+# pathological workloads cannot grow it without limit; a clear only costs
+# recomputation.
+_SIZE_BY_ID: dict = {}
+_SIZE_CACHE_LIMIT = 1 << 20
+
+
+def clear_size_cache() -> None:
+    """Release every object pinned by the size memo.
+
+    Sizing is pure, so clearing only costs recomputation.  The engine
+    calls this when an execution finishes: message objects never recur
+    across executions, so keeping them pinned would grow resident memory
+    with every run in a long-lived process.
+    """
+    _SIZE_BY_ID.clear()
+
 
 def _int_size_bits(value: int) -> int:
     """Size of an integer: one word, or minimal bytes for big integers."""
@@ -60,10 +83,17 @@ def encoded_size_bits(obj: Any) -> int:
     if callable(size_method):
         return size_method()
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return _TAG_BITS + sum(
+        entry = _SIZE_BY_ID.get(id(obj))
+        if entry is not None and entry[0] is obj:
+            return entry[1]
+        size = _TAG_BITS + sum(
             encoded_size_bits(getattr(obj, field.name))
             for field in dataclasses.fields(obj)
         )
+        if len(_SIZE_BY_ID) >= _SIZE_CACHE_LIMIT:
+            _SIZE_BY_ID.clear()
+        _SIZE_BY_ID[id(obj)] = (obj, size)
+        return size
     if isinstance(obj, (tuple, list)):
         return _LEN_PREFIX_BITS + sum(encoded_size_bits(item) for item in obj)
     if isinstance(obj, (set, frozenset)):
@@ -74,6 +104,50 @@ def encoded_size_bits(obj: Any) -> int:
             for key, value in obj.items()
         )
     raise TypeError(f"no size model for object of type {type(obj).__name__}")
+
+
+# Per-class memo of dataclass field names, so the hot tagging path skips
+# the (surprisingly costly) is_dataclass/fields introspection per call.
+_TYPE_TAG_FIELDS: dict = {}
+
+# Leaf classes tagged inline (one tuple, no recursive call) on hot paths.
+_SCALAR_TAG_CLASSES = frozenset({int, bool, float, str, bytes, type(None)})
+
+
+def type_tagged(value: Any) -> Any:
+    """A dict-key wrapper distinguishing values that compare equal but
+    encode differently under :func:`canonical_bytes`.
+
+    ``True == 1 == 1.0`` as dict keys, yet their canonical encodings
+    differ — so a cache keyed on raw values could return a verdict
+    computed for a different byte string.  Tagging every element with its
+    class restores the distinction; tuples, frozensets, and dataclasses
+    (message/auth objects whose fields feed hashes) are tagged
+    recursively.
+    """
+    cls = value.__class__
+    if cls in _SCALAR_TAG_CLASSES:
+        return (value, cls)
+    if cls is tuple:
+        return tuple([
+            (item, item.__class__)
+            if item.__class__ in _SCALAR_TAG_CLASSES else type_tagged(item)
+            for item in value])
+    if cls is frozenset:
+        # Hashable container whose elements feed canonical_bytes: must be
+        # recursed, or frozenset({True}) and frozenset({1}) would alias.
+        # (Mutable sets/dicts need no handling — the fallback wrapper is
+        # then unhashable, which callers treat as "do not cache".)
+        return (cls, frozenset(type_tagged(item) for item in value))
+    names = _TYPE_TAG_FIELDS.get(cls)
+    if names is None:
+        names = (tuple(field.name for field in dataclasses.fields(cls))
+                 if dataclasses.is_dataclass(cls) else ())
+        _TYPE_TAG_FIELDS[cls] = names
+    if names:
+        return (cls,) + tuple([
+            type_tagged(getattr(value, name)) for name in names])
+    return (value, cls)
 
 
 def _canonical_int(value: int) -> bytes:

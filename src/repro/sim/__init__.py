@@ -20,7 +20,11 @@ The simulator realises the paper's Interactive-Turing-Machine round model:
 
 from repro.sim.adversary import Adversary, AdversaryApi, PassiveAdversary
 from repro.sim.corruption import CorruptionController, CorruptionGrant
-from repro.sim.engine import Simulation
+from repro.sim.engine import (
+    Simulation,
+    TRANSCRIPT_FULL,
+    TRANSCRIPT_METRICS_ONLY,
+)
 from repro.sim.leader import LeaderOracle, RandomLeaderOracle, RoundRobinLeaderOracle
 from repro.sim.metrics import CommunicationMetrics
 from repro.sim.network import Delivery, Envelope, SynchronousNetwork
@@ -35,6 +39,8 @@ __all__ = [
     "CorruptionController",
     "CorruptionGrant",
     "Simulation",
+    "TRANSCRIPT_FULL",
+    "TRANSCRIPT_METRICS_ONLY",
     "LeaderOracle",
     "RandomLeaderOracle",
     "RoundRobinLeaderOracle",

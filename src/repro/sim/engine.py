@@ -24,6 +24,7 @@ import random
 from typing import Dict, Optional, Sequence
 
 from repro.errors import SimulationError
+from repro.serialization import clear_size_cache
 from repro.rng import Seed, derive_rng
 from repro.sim.adversary import Adversary, AdversaryApi, PassiveAdversary
 from repro.sim.corruption import CorruptionController, CorruptionGrant
@@ -32,6 +33,14 @@ from repro.sim.network import Envelope, SynchronousNetwork
 from repro.sim.node import Node, RoundContext
 from repro.sim.result import ExecutionResult
 from repro.types import AdversaryModel, Bit, NodeId, Round
+
+#: Keep every envelope ever staged (replay / invariant checking).
+TRANSCRIPT_FULL = "full"
+#: Keep no transcript; only the aggregate communication metrics.  Long
+#: executions stop accumulating unbounded envelope lists.
+TRANSCRIPT_METRICS_ONLY = "metrics-only"
+
+_RETENTION_POLICIES = (TRANSCRIPT_FULL, TRANSCRIPT_METRICS_ONLY)
 
 
 class Simulation:
@@ -48,12 +57,20 @@ class Simulation:
         inputs: Optional[Dict[NodeId, Bit]] = None,
         signing_capabilities: Optional[Sequence] = None,
         mining_capabilities: Optional[Sequence] = None,
+        transcript_retention: str = TRANSCRIPT_FULL,
     ) -> None:
         if not nodes:
             raise SimulationError("need at least one node")
+        if transcript_retention not in _RETENTION_POLICIES:
+            raise SimulationError(
+                f"unknown transcript retention {transcript_retention!r}; "
+                f"expected one of {_RETENTION_POLICIES}")
         self.nodes = list(nodes)
         self.n = len(nodes)
-        self.network = SynchronousNetwork(self.n)
+        self.transcript_retention = transcript_retention
+        self.network = SynchronousNetwork(
+            self.n,
+            retain_transcript=transcript_retention == TRANSCRIPT_FULL)
         self.controller = CorruptionController(self.n, corruption_budget, model)
         self.metrics = CommunicationMetrics(n=self.n)
         self.adversary = adversary if adversary is not None else PassiveAdversary()
@@ -139,6 +156,10 @@ class Simulation:
             if self._all_honest_halted():
                 break
 
+        # The size memo pins message objects; this execution's messages
+        # never recur in a later one, so release them now.
+        clear_size_cache()
+
         outputs: Dict[NodeId, Bit] = {}
         decided_rounds: Dict[NodeId, Optional[Round]] = {}
         for node in self.nodes:
@@ -156,4 +177,5 @@ class Simulation:
             metrics=self.metrics,
             inputs=dict(self.inputs),
             transcript=list(self.network.transcript),
+            transcript_retained=self.network.retain_transcript,
         )

@@ -44,15 +44,21 @@ class Delivery:
 class SynchronousNetwork:
     """Stages envelopes during a round and delivers them the next round."""
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int, retain_transcript: bool = True) -> None:
         if n < 1:
             raise SimulationError("network needs at least one node")
         self.n = n
         self._next_envelope_id = 0
         self._staged: List[Envelope] = []
+        self._staged_ids: Set[int] = set()
         self._suppressed: Set[Tuple[int, NodeId]] = set()
         self._delivered_round: Round = -1
-        #: Full transcript of every envelope ever staged, for analysis.
+        #: Whether to keep the full transcript (the engine's
+        #: ``metrics-only`` retention turns this off so long executions
+        #: stop accumulating unbounded envelope lists).
+        self.retain_transcript = retain_transcript
+        #: Full transcript of every envelope ever staged, for analysis
+        #: (empty when ``retain_transcript`` is False).
         self.transcript: List[Envelope] = []
 
     def stage(self, sender: NodeId, recipient: Optional[NodeId], payload: Any,
@@ -70,7 +76,9 @@ class SynchronousNetwork:
         )
         self._next_envelope_id += 1
         self._staged.append(envelope)
-        self.transcript.append(envelope)
+        self._staged_ids.add(envelope.envelope_id)
+        if self.retain_transcript:
+            self.transcript.append(envelope)
         return envelope
 
     def suppress(self, envelope: Envelope, recipient: Optional[NodeId] = None) -> None:
@@ -81,7 +89,7 @@ class SynchronousNetwork:
         still in flight (staged this round, not yet delivered) can be
         suppressed — one cannot rewrite history.
         """
-        if envelope not in self._staged:
+        if envelope.envelope_id not in self._staged_ids:
             raise SimulationError(
                 "cannot suppress a message that is not in flight")
         if recipient is None:
@@ -100,21 +108,38 @@ class SynchronousNetwork:
     def deliver(self) -> Dict[NodeId, List[Delivery]]:
         """Deliver all staged messages and start a new staging window.
 
-        Delivery order is deterministic: envelopes sorted by id (send
-        order), so repeated runs replay exactly.
+        Delivery order is deterministic: envelopes are staged in id
+        (= send) order and delivered in that order, so repeated runs
+        replay exactly.  A multicast shares one frozen :class:`Delivery`
+        across all recipients instead of materializing ``n`` copies, and
+        the per-copy suppression lookup is skipped entirely when nothing
+        was suppressed this round (the common case).
         """
         inboxes: Dict[NodeId, List[Delivery]] = {node: [] for node in range(self.n)}
-        for envelope in sorted(self._staged, key=lambda e: e.envelope_id):
-            recipients = (range(self.n) if envelope.is_multicast
-                          else [envelope.recipient])
-            for recipient in recipients:
-                if recipient == envelope.sender:
-                    continue
-                if self.is_suppressed(envelope, recipient):
-                    continue
-                inboxes[recipient].append(
-                    Delivery(sender=envelope.sender, payload=envelope.payload))
+        suppressed = self._suppressed
+        for envelope in self._staged:
+            sender = envelope.sender
+            delivery = Delivery(sender=sender, payload=envelope.payload)
+            if envelope.is_multicast:
+                if suppressed:
+                    envelope_id = envelope.envelope_id
+                    for recipient in range(self.n):
+                        if (recipient == sender
+                                or (envelope_id, recipient) in suppressed):
+                            continue
+                        inboxes[recipient].append(delivery)
+                else:
+                    for recipient in range(self.n):
+                        if recipient != sender:
+                            inboxes[recipient].append(delivery)
+            else:
+                recipient = envelope.recipient
+                if recipient != sender and not (
+                        suppressed
+                        and (envelope.envelope_id, recipient) in suppressed):
+                    inboxes[recipient].append(delivery)
         self._staged = []
+        self._staged_ids = set()
         self._suppressed = set()
         self._delivered_round += 1
         return inboxes

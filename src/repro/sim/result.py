@@ -33,6 +33,25 @@ class ExecutionResult:
     inputs: Dict[NodeId, Bit] = field(default_factory=dict)
     #: Every envelope ever staged, for trace analysis (repro.sim.trace).
     transcript: List[Envelope] = field(default_factory=list)
+    #: False when the execution ran under ``metrics-only`` retention:
+    #: ``transcript`` is then empty because it was *discarded*, not
+    #: because nothing was sent — transcript-based analyses must refuse
+    #: rather than vacuously pass.
+    transcript_retained: bool = True
+
+    def require_transcript(self) -> List[Envelope]:
+        """The transcript, refusing to hand back a discarded one.
+
+        Transcript-based analyses (invariants, replay, trace summaries)
+        must call this rather than read ``transcript`` directly: an
+        execution run under ``metrics-only`` retention has an *empty*
+        transcript that would make every scan vacuously report "nothing
+        was sent"."""
+        if not self.transcript_retained:
+            raise ValueError(
+                "execution ran with metrics-only transcript retention; "
+                "transcript analyses need transcript_retention='full'")
+        return self.transcript
 
     @property
     def forever_honest(self) -> List[NodeId]:
