@@ -1,0 +1,65 @@
+"""Check intra-repo markdown links.
+
+Scans every ``*.md`` file in the repository for markdown links
+``[text](target)`` and verifies that each relative target resolves to an
+existing file or directory (anchors are stripped; external ``http(s)``,
+``mailto`` and pure-anchor links are skipped).  Exits non-zero listing
+every broken link — run by the CI docs job.
+
+Usage::
+
+    python scripts/check_doc_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links; deliberately simple — no reference-style links
+#: or images are used in this repo's docs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            yield path
+
+
+def broken_links(root: Path):
+    for md_file in iter_markdown(root):
+        text = md_file.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (md_file.parent / relative).resolve()
+            if not resolved.exists():
+                yield md_file.relative_to(root), target
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 \
+        else Path(__file__).resolve().parent.parent
+    broken = list(broken_links(root))
+    for md_file, target in broken:
+        print(f"BROKEN {md_file}: ({target})")
+    checked = sum(1 for _ in iter_markdown(root))
+    if broken:
+        print(f"{len(broken)} broken link(s) across {checked} markdown "
+              f"file(s)")
+        return 1
+    print(f"all intra-repo links resolve across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

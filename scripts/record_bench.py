@@ -58,6 +58,29 @@ def profile_quadratic(n: int, f: int, seed: int = 1) -> dict:
     }
 
 
+def profile_sweep(name: str = "adversary-grid") -> dict:
+    """One named sweep, with and without the shared lottery cache."""
+    from repro.harness.scenarios import run_sweep
+    from repro.harness.sweep_library import SWEEPS
+
+    sweep = SWEEPS[name]
+    start = time.perf_counter()
+    unshared = run_sweep(sweep, share_lottery=False)
+    unshared_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    shared = run_sweep(sweep, share_lottery=True)
+    shared_wall = time.perf_counter() - start
+    assert shared.rows() == unshared.rows(), "lottery cache changed results"
+    return {
+        "sweep": name,
+        "cells": len(shared.cells),
+        "wall_seconds_unshared": round(unshared_wall, 4),
+        "wall_seconds_shared": round(shared_wall, 4),
+        "lottery_coins": shared.lottery["coins"],
+        "lottery_hits": shared.lottery["hits"],
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -68,6 +91,7 @@ def main() -> None:
     profiles = {
         "quadratic-ba-n96": profile_quadratic(96, 47),
         "quadratic-ba-n192": profile_quadratic(192, 95),
+        "sweep-adversary-grid": profile_sweep("adversary-grid"),
     }
     for name, profile in profiles.items():
         baseline = SEED_BASELINE.get(name, {})
@@ -87,9 +111,16 @@ def main() -> None:
     output.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {output}")
     for name, profile in profiles.items():
-        print(f"  {name}: {profile['wall_seconds']}s wall, "
-              f"{profile['authenticator_check_calls']} check calls, "
-              f"{profile['envelopes_per_second']} envelopes/s")
+        if "sweep" in profile:
+            print(f"  {name}: {profile['wall_seconds_shared']}s wall "
+                  f"(shared lottery; {profile['wall_seconds_unshared']}s "
+                  f"unshared), {profile['lottery_hits']}/"
+                  f"{profile['lottery_coins'] + profile['lottery_hits']} "
+                  f"flips served from cache")
+        else:
+            print(f"  {name}: {profile['wall_seconds']}s wall, "
+                  f"{profile['authenticator_check_calls']} check calls, "
+                  f"{profile['envelopes_per_second']} envelopes/s")
 
 
 if __name__ == "__main__":

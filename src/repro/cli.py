@@ -2,9 +2,15 @@
 
 Commands
 --------
-``experiment`` — run one of the E1..E12 experiment tables::
+``experiment`` — run one of the E1–E12 experiment tables::
 
     python -m repro experiment E3
+
+``sweep`` — run a named scenario-matrix sweep (``--list`` to see them),
+optionally fanning trials across worker processes and exporting CSV/JSON
+artifacts (see ``docs/SCENARIOS.md``)::
+
+    python -m repro sweep comm-vs-n --workers 4 --out-dir artifacts
 
 ``run`` — execute one protocol instance and print its result summary::
 
@@ -61,12 +67,30 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Communication Complexity of "
-                    "Byzantine Agreement, Revisited' (PODC 2019)")
+                    "Byzantine Agreement, Revisited' (PODC 2019)",
+        epilog="commands: experiment (E1..E12 tables), sweep (named "
+               "scenario-matrix sweeps; see docs/SCENARIOS.md), run "
+               "(one execution), params (λ selection)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     exp = sub.add_parser("experiment", help="run an experiment table")
     exp.add_argument("name", choices=sorted(ALL_EXPERIMENTS),
                      help="experiment id (E1..E12)")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a named scenario-matrix sweep")
+    sweep.add_argument("name", nargs="?", default=None,
+                       help="sweep name (omit with --list to enumerate)")
+    sweep.add_argument("--list", action="store_true", dest="list_sweeps",
+                       help="list the available sweeps and exit")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="fan each cell's trials across N processes")
+    sweep.add_argument("--no-shared-lottery", action="store_true",
+                       help="disable the per-sweep eligibility-lottery "
+                            "cache (results are identical either way)")
+    sweep.add_argument("--out-dir", default=None,
+                       help="write <name>.csv and <name>.json artifacts "
+                            "into this directory")
 
     run = sub.add_parser("run", help="run one protocol execution")
     run.add_argument("--protocol", choices=sorted(PROTOCOLS),
@@ -104,6 +128,41 @@ def _inputs_for(kind: str, n: int) -> List[int]:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = ALL_EXPERIMENTS[args.name]()
     print(result.render())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.harness.scenarios import run_sweep
+    from repro.harness.sweep_library import SWEEPS
+
+    if args.list_sweeps:
+        for name in sorted(SWEEPS):
+            print(f"{name:22s} {SWEEPS[name].description}")
+        return 0
+    if args.name is None:
+        print("sweep: name required (or --list)", file=sys.stderr)
+        return 2
+    if args.name not in SWEEPS:
+        print(f"sweep: unknown sweep {args.name!r} "
+              f"(have: {', '.join(sorted(SWEEPS))})", file=sys.stderr)
+        return 2
+    result = run_sweep(SWEEPS[args.name], workers=args.workers,
+                       share_lottery=not args.no_shared_lottery)
+    print(result.to_table().render())
+    if result.lottery is not None:
+        lottery = result.lottery
+        # Counters are per-process: with --workers the coins are drawn
+        # inside the worker processes, so the main process reads zero.
+        print(f"\nshared lottery (main process): {lottery['coins']} coins, "
+              f"{lottery['hits']} hits, {lottery['misses']} misses")
+    if args.out_dir is not None:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        csv_path = result.to_csv(out_dir / f"{args.name}.csv")
+        json_path = result.to_json(out_dir / f"{args.name}.json")
+        print(f"wrote {csv_path} and {json_path}")
     return 0
 
 
@@ -153,6 +212,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "params":

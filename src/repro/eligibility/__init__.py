@@ -21,6 +21,7 @@ interface:
 from repro.eligibility.base import EligibilitySource, Ticket
 from repro.eligibility.difficulty import DifficultySchedule, Topic
 from repro.eligibility.fmine import FMine, FMineEligibility
+from repro.eligibility.lottery_cache import SharedLotteryCache
 from repro.eligibility.vrf_eligibility import VrfEligibility
 
 __all__ = [
@@ -30,5 +31,6 @@ __all__ = [
     "Topic",
     "FMine",
     "FMineEligibility",
+    "SharedLotteryCache",
     "VrfEligibility",
 ]

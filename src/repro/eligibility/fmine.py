@@ -32,7 +32,8 @@ from repro.eligibility.base import (
     Topic,
 )
 from repro.eligibility.difficulty import DifficultySchedule
-from repro.rng import Seed, derive_rng
+from repro.eligibility.lottery_cache import SharedLotteryCache
+from repro.rng import Seed, derive_rng, derive_seed
 from repro.types import NodeId
 
 
@@ -44,17 +45,34 @@ class FMineTicket(Ticket):
 class FMine:
     """The trusted party of Figure 1."""
 
-    def __init__(self, schedule: DifficultySchedule, seed: Seed) -> None:
+    def __init__(self, schedule: DifficultySchedule, seed: Seed,
+                 coin_cache: Optional[SharedLotteryCache] = None) -> None:
         self.schedule = schedule
         self._seed = seed
+        self._coin_cache = coin_cache
         self._coins: Dict[Tuple[NodeId, Topic], bool] = {}
         # Count attempts per node for the stochastic analyses (Lemma 11).
         self.attempt_log: list[Tuple[NodeId, Topic]] = []
 
     def _flip(self, node_id: NodeId, topic: Topic) -> bool:
-        """The Bernoulli(P(m)) coin, deterministic per (node, topic)."""
+        """The Bernoulli(P(m)) coin, deterministic per (node, topic).
+
+        With a :class:`SharedLotteryCache` attached, the flip is served
+        from the sweep-wide memo; the key covers the fully derived seed
+        *and* the success probability, so a hit is exactly the coin this
+        instance would have computed itself.
+        """
+        probability = self.schedule.probability(topic)
+        if self._coin_cache is not None:
+            return self._coin_cache.coin(
+                (derive_seed(self._seed, "fmine", node_id, topic), probability),
+                lambda: self._compute_flip(node_id, topic, probability))
+        return self._compute_flip(node_id, topic, probability)
+
+    def _compute_flip(self, node_id: NodeId, topic: Topic,
+                      probability: float) -> bool:
         rng = derive_rng(self._seed, "fmine", node_id, topic)
-        return rng.random() < self.schedule.probability(topic)
+        return rng.random() < probability
 
     def mine(self, node_id: NodeId, topic: Topic) -> bool:
         """``Fmine.mine(m)`` from node i; memoized per Figure 1."""
@@ -72,9 +90,10 @@ class FMine:
 class FMineEligibility(EligibilitySource):
     """Adapter exposing ``Fmine`` through the eligibility interface."""
 
-    def __init__(self, n: int, schedule: DifficultySchedule, seed: Seed) -> None:
+    def __init__(self, n: int, schedule: DifficultySchedule, seed: Seed,
+                 coin_cache: Optional[SharedLotteryCache] = None) -> None:
         self.n = n
-        self.fmine = FMine(schedule, seed)
+        self.fmine = FMine(schedule, seed, coin_cache=coin_cache)
         self._capabilities = [MiningCapability(self, node) for node in range(n)]
 
     def capability_for(self, node_id: NodeId) -> MiningCapability:

@@ -1,6 +1,26 @@
-"""Experiment harness: runners, sweeps, experiment tables (E1–E10)."""
+"""Experiment harness: runners, the scenario-matrix sweep layer, and the
+experiment tables (E1–E12)."""
 
 from repro.harness.runner import run_instance, run_trials, TrialStats
+from repro.harness.scenarios import (
+    Cell,
+    CellResult,
+    ScenarioSpec,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
 from repro.harness.tables import Table
 
-__all__ = ["run_instance", "run_trials", "TrialStats", "Table"]
+__all__ = [
+    "run_instance",
+    "run_trials",
+    "TrialStats",
+    "Table",
+    "Cell",
+    "CellResult",
+    "ScenarioSpec",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
+]

@@ -1,4 +1,4 @@
-"""Experiments E1–E10: the executable version of the paper's evaluation.
+"""Experiments E1–E12: the executable version of the paper's evaluation.
 
 Each ``experiment_e*`` function runs real protocol executions under real
 adversaries and returns an :class:`ExperimentResult` carrying a rendered
@@ -6,6 +6,18 @@ table (what the paper's tables/claims look like in this reproduction) and
 the raw data dictionary (what the tests and EXPERIMENTS.md assertions are
 written against).  DESIGN.md §3 maps each experiment to the paper claim it
 reproduces.
+
+Since the scenario-matrix refactor, each experiment is a **thin
+declarative spec**: the protocol × adversary × parameter grid lives in a
+:class:`~repro.harness.scenarios.SweepSpec` built by an ``_e*_sweep``
+function, execution goes through
+:func:`~repro.harness.scenarios.run_sweep` (which shares one
+eligibility-lottery cache across the sweep's cells), and the experiment
+function itself only formats the per-cell results into the paper-shaped
+tables.  Outputs are byte-identical to the pre-refactor imperative loops
+for the same seeds.  E12's ablations sweep *internal* design parameters
+(custom difficulty schedules per seed) that the declarative layer
+deliberately does not model, so it stays imperative.
 """
 
 from __future__ import annotations
@@ -14,12 +26,6 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence
 
-from repro.adversaries import (
-    AckEquivocationAdversary,
-    AdaptiveSpeakerAdversary,
-    CrashAdversary,
-    StaticEquivocationAdversary,
-)
 from repro.analysis import (
     corrupt_quorum_probability,
     good_iteration_probability,
@@ -28,24 +34,16 @@ from repro.analysis import (
     percentile,
     terminate_propagation_failure,
 )
-from repro.eligibility import DifficultySchedule, FMineEligibility
 from repro.harness.runner import run_instance, run_trials
+from repro.harness.scenarios import (
+    ScenarioSpec,
+    SweepResult,
+    SweepSpec,
+    f_half_minus_one,
+    inputs_mixed as _mixed_inputs,
+    run_sweep,
+)
 from repro.harness.tables import Table
-from repro.lowerbounds import (
-    run_dolev_reischuk_attack,
-    run_hypothetical_experiment,
-    run_theorem4_attack,
-)
-from repro.protocols import (
-    build_broadcast_from_ba,
-    build_dolev_strong,
-    build_naive_broadcast,
-    build_phase_king_subquadratic,
-    build_quadratic_ba,
-    build_round_eligibility,
-    build_static_committee,
-    build_subquadratic_ba,
-)
 from repro.rng import derive_rng
 from repro.types import SecurityParameters
 
@@ -60,30 +58,63 @@ class ExperimentResult:
         return "\n\n".join(table.render() for table in self.tables)
 
 
-def _mixed_inputs(n: int) -> List[int]:
-    return [i % 2 for i in range(n)]
+def _one(result: SweepResult, scenario: str):
+    """The single cell of a one-cell scenario."""
+    cells = result.scenario(scenario)
+    assert len(cells) == 1, f"{scenario}: expected one cell, got {len(cells)}"
+    return cells[0]
+
+
+def _binding(cell_result, key: str):
+    return dict(cell_result.cell.bindings)[key]
 
 
 # ---------------------------------------------------------------------------
 # E1 — Theorem 1/4: after-the-fact removal breaks subquadratic BB.
 # ---------------------------------------------------------------------------
 
+def _e1_sweep(trials: int) -> SweepSpec:
+    params = SecurityParameters(lam=20, epsilon=0.1)
+    return SweepSpec(
+        name="e1-theorem4",
+        scenarios=(
+            ScenarioSpec(
+                name="subquadratic", protocol="broadcast-from-ba",
+                executor="theorem4",
+                fixed=dict(n=900, f=400, sender_input=1,
+                           epsilon=2 * params.epsilon,
+                           ba_builder="subquadratic", params=params,
+                           max_iterations=12),
+                seeds=range(trials)),
+            ScenarioSpec(
+                name="quadratic", protocol="broadcast-from-ba",
+                executor="theorem4",
+                fixed=dict(n=41, f=19, sender_input=1,
+                           epsilon=2 * params.epsilon,
+                           ba_builder="quadratic", max_iterations=12),
+                seeds=range(trials)),
+            ScenarioSpec(
+                name="census", protocol="broadcast-from-ba",
+                executor="theorem4-census",
+                fixed=dict(n=1600, f=720, sender_input=1, epsilon=0.25,
+                           ba_builder="subquadratic",
+                           params=SecurityParameters(lam=12, epsilon=0.1),
+                           max_iterations=8),
+                seeds=range(trials)),
+        ),
+    )
+
+
 def experiment_e1(trials: int = 3) -> ExperimentResult:
     """Isolation attack: subquadratic BB falls, quadratic BB survives."""
-    params = SecurityParameters(lam=20, epsilon=0.1)
+    sweep = run_sweep(_e1_sweep(trials))
     table = Table(
         "E1 (Theorem 1/4) — strongly adaptive isolation attack",
         ["protocol", "n", "f", "honest msgs", "bound (εf/2)²",
          "corruptions", "budget dead", "violation rate"],
     )
-    subq = run_theorem4_attack(
-        build_broadcast_from_ba, n=900, f=400, sender_input=1,
-        seeds=range(trials), epsilon=2 * params.epsilon,
-        ba_builder=build_subquadratic_ba, params=params, max_iterations=12)
-    quad = run_theorem4_attack(
-        build_broadcast_from_ba, n=41, f=19, sender_input=1,
-        seeds=range(trials), epsilon=2 * params.epsilon,
-        ba_builder=build_quadratic_ba, max_iterations=12)
+    subq = _one(sweep, "subquadratic").payload
+    quad = _one(sweep, "quadratic").payload
     for report in (subq, quad):
         table.add_row(report.protocol, report.n, report.f,
                       round(report.mean_honest_messages),
@@ -93,12 +124,7 @@ def experiment_e1(trials: int = 3) -> ExperimentResult:
                       report.violation_rate)
     # The proof-structure census: the events X and Y of the Theorem 4
     # argument, measured live in the subquadratic regime.
-    from repro.lowerbounds.theorem4 import run_theorem4_census
-    census = run_theorem4_census(
-        build_broadcast_from_ba, n=1600, f=720, sender_input=1,
-        seeds=range(trials), epsilon=0.25,
-        ba_builder=build_subquadratic_ba,
-        params=SecurityParameters(lam=12, epsilon=0.1), max_iterations=8)
+    census = _one(sweep, "census").payload
     census_table = Table(
         "E1b — the Theorem 4 proof events, measured (adversary A)",
         ["quantity", "value"],
@@ -119,17 +145,31 @@ def experiment_e1(trials: int = 3) -> ExperimentResult:
 # E2 — the Dolev–Reischuk warmup.
 # ---------------------------------------------------------------------------
 
+_E2_SWEEP = SweepSpec(
+    name="e2-dolev-reischuk",
+    scenarios=(
+        ScenarioSpec(
+            name="naive", protocol="naive-broadcast",
+            executor="dolev-reischuk",
+            fixed=dict(n=40, f=16, sender_input=0), seeds=(1,)),
+        ScenarioSpec(
+            name="dolev-strong", protocol="dolev-strong",
+            executor="dolev-reischuk",
+            fixed=dict(n=24, f=10, sender_input=0), seeds=(1,)),
+    ),
+)
+
+
 def experiment_e2() -> ExperimentResult:
     """A/A' attack: cheap deterministic BB falls, Dolev–Strong resists."""
+    sweep = run_sweep(_E2_SWEEP)
     table = Table(
         "E2 (Section 2 warmup) — Dolev–Reischuk attack",
         ["protocol", "n", "f", "msgs into V", "budget (f/2)²",
          "starved p found", "violation"],
     )
-    naive = run_dolev_reischuk_attack(
-        build_naive_broadcast, n=40, f=16, sender_input=0, seed=1)
-    strong = run_dolev_reischuk_attack(
-        build_dolev_strong, n=24, f=10, sender_input=0, seed=1)
+    naive = _one(sweep, "naive").payload
+    strong = _one(sweep, "dolev-strong").payload
     for report in (naive, strong):
         table.add_row(report.protocol, report.n, report.f,
                       report.messages_into_v, report.message_budget,
@@ -142,95 +182,110 @@ def experiment_e2() -> ExperimentResult:
 # E3 — Theorem 2/17: multicast complexity independent of n.
 # ---------------------------------------------------------------------------
 
+def _e3_sweep(trials: int, sizes: Sequence[int],
+              quad_sizes: Sequence[int]) -> SweepSpec:
+    return SweepSpec(
+        name="e3-multicast-vs-n",
+        scenarios=(
+            ScenarioSpec(
+                name="subquadratic", protocol="subquadratic",
+                grid={"n": tuple(sizes)},
+                fixed={"f_fraction": 0.3, "lam": 24, "epsilon": 0.15},
+                inputs="ones", adversary="crash", seeds=range(trials)),
+            ScenarioSpec(
+                name="quadratic", protocol="quadratic",
+                grid={"n": tuple(quad_sizes)},
+                fixed={"f": f_half_minus_one},
+                inputs="ones", adversary="crash", seeds=range(trials)),
+            ScenarioSpec(
+                name="dolev-strong", protocol="dolev-strong",
+                grid={"n": tuple(quad_sizes)},
+                fixed={"f": f_half_minus_one, "sender_input": 1},
+                seeds=range(trials)),
+        ),
+    )
+
+
 def experiment_e3(trials: int = 3,
                   sizes: Sequence[int] = (64, 128, 256, 512, 1024),
                   quad_sizes: Sequence[int] = (16, 32, 64, 128),
                   ) -> ExperimentResult:
     """Honest multicasts vs n: flat for subquadratic, linear for quadratic."""
-    params = SecurityParameters(lam=24, epsilon=0.15)
+    sweep = run_sweep(_e3_sweep(trials, sizes, quad_sizes))
     table = Table(
         "E3 (Theorem 2) — multicast complexity vs n (unanimous inputs)",
         ["protocol", "n", "f", "multicasts", "multicast kbits",
          "classical msgs"],
     )
-    subq_counts: Dict[int, float] = {}
-    for n in sizes:
-        f = int(0.3 * n)
-        stats = run_trials(
-            build_subquadratic_ba, f=f, seeds=range(trials),
-            n=n, inputs=[1] * n, params=params,
-            adversary_factory=lambda inst: CrashAdversary())
-        subq_counts[n] = stats.mean_multicasts
-        table.add_row("subquadratic-ba", n, f,
-                      round(stats.mean_multicasts, 1),
-                      round(stats.mean_multicast_bits / 1000, 1),
-                      round(stats.mean_multicasts * (n - 1)))
-    quad_counts: Dict[int, float] = {}
-    for n in quad_sizes:
-        f = (n - 1) // 2
-        stats = run_trials(
-            build_quadratic_ba, f=f, seeds=range(trials),
-            n=n, inputs=[1] * n,
-            adversary_factory=lambda inst: CrashAdversary())
-        quad_counts[n] = stats.mean_multicasts
-        table.add_row("quadratic-ba", n, f,
-                      round(stats.mean_multicasts, 1),
-                      round(stats.mean_multicast_bits / 1000, 1),
-                      round(stats.mean_multicasts * (n - 1)))
-    ds_counts: Dict[int, float] = {}
-    for n in quad_sizes:
-        f = (n - 1) // 2
-        stats = run_trials(
-            build_dolev_strong, f=f, seeds=range(trials),
-            n=n, sender_input=1)
-        ds_counts[n] = stats.mean_multicasts
-        table.add_row("dolev-strong", n, f,
-                      round(stats.mean_multicasts, 1),
-                      round(stats.mean_multicast_bits / 1000, 1),
-                      round(stats.mean_multicasts * (n - 1)))
+    counts: Dict[str, Dict[int, float]] = {}
+    for scenario, label in (("subquadratic", "subquadratic-ba"),
+                            ("quadratic", "quadratic-ba"),
+                            ("dolev-strong", "dolev-strong")):
+        counts[scenario] = {}
+        for cell in sweep.scenario(scenario):
+            stats = cell.stats
+            n = cell.cell.n
+            counts[scenario][n] = stats.mean_multicasts
+            table.add_row(label, n, cell.cell.f,
+                          round(stats.mean_multicasts, 1),
+                          round(stats.mean_multicast_bits / 1000, 1),
+                          round(stats.mean_multicasts * (n - 1)))
     return ExperimentResult(
         name="E3", tables=[table],
-        data={"subquadratic": subq_counts, "quadratic": quad_counts,
-              "dolev_strong": ds_counts, "lam": params.lam})
+        data={"subquadratic": counts["subquadratic"],
+              "quadratic": counts["quadratic"],
+              "dolev_strong": counts["dolev-strong"],
+              "lam": _binding(sweep.scenario("subquadratic")[0], "lam")})
 
 
 # ---------------------------------------------------------------------------
 # E4 — expected constant rounds (Corollary 16 / Lemma 12).
 # ---------------------------------------------------------------------------
 
+def _e4_sweep(trials: int) -> SweepSpec:
+    return SweepSpec(
+        name="e4-round-complexity",
+        scenarios=(
+            ScenarioSpec(
+                name="subquadratic", protocol="subquadratic",
+                grid={"n": (100, 200, 400)},
+                fixed={"f_fraction": 0.25, "lam": 30, "epsilon": 0.1},
+                inputs="mixed", adversary="crash", seeds=range(trials)),
+            # Phase-king runs a fixed R = ω(log κ) epochs, no early exit.
+            ScenarioSpec(
+                name="phase-king", protocol="phase-king-subquadratic",
+                fixed={"n": 150, "f": 20, "lam": 30, "epsilon": 0.1,
+                       "epochs": 12},
+                inputs="mixed", adversary="crash",
+                seeds=range(max(4, trials // 2))),
+        ),
+    )
+
+
 def experiment_e4(trials: int = 20) -> ExperimentResult:
     """Decision-round distribution: constant for the iterated BA."""
-    params = SecurityParameters(lam=30, epsilon=0.1)
+    sweep = run_sweep(_e4_sweep(trials))
     table = Table(
         "E4 (Corollary 16) — termination rounds (mixed inputs, crash faults)",
         ["protocol", "n", "mean rounds", "p90 rounds",
          "good-iter prob (Lemma 12)", "termination rate"],
     )
     data: Dict[str, Any] = {}
-    for n in (100, 200, 400):
-        f = int(0.25 * n)
-        stats = run_trials(
-            build_subquadratic_ba, f=f, seeds=range(trials),
-            n=n, inputs=_mixed_inputs(n), params=params,
-            adversary_factory=lambda inst: CrashAdversary())
+    for cell in sweep.scenario("subquadratic"):
+        stats = cell.stats
+        n = cell.cell.n
         rounds = [float(r.rounds_executed) for r in stats.results]
-        table.add_row(f"subquadratic-ba", n, round(mean(rounds), 1),
+        table.add_row("subquadratic-ba", n, round(mean(rounds), 1),
                       percentile(rounds, 90),
                       round(good_iteration_probability(n), 4),
                       stats.termination_rate)
         data[f"subq_rounds_n{n}"] = rounds
         data[f"subq_termination_n{n}"] = stats.termination_rate
-    # Phase-king runs a fixed R = ω(log κ) epochs, no early exit.
-    n = 150
-    f = 20
-    epochs = 12
-    stats = run_trials(
-        build_phase_king_subquadratic, f=f, seeds=range(max(4, trials // 2)),
-        n=n, inputs=_mixed_inputs(n), params=params, epochs=epochs,
-        adversary_factory=lambda inst: CrashAdversary())
-    rounds = [float(r.rounds_executed) for r in stats.results]
-    table.add_row("phase-king-subq (fixed R)", n, round(mean(rounds), 1),
-                  percentile(rounds, 90), "-", stats.termination_rate)
+    king = _one(sweep, "phase-king")
+    rounds = [float(r.rounds_executed) for r in king.stats.results]
+    table.add_row("phase-king-subq (fixed R)", king.cell.n,
+                  round(mean(rounds), 1),
+                  percentile(rounds, 90), "-", king.stats.termination_rate)
     data["phase_king_rounds"] = rounds
     return ExperimentResult(name="E4", tables=[table], data=data)
 
@@ -239,31 +294,42 @@ def experiment_e4(trials: int = 20) -> ExperimentResult:
 # E5 — resilience sweep up to (1/2 - ε) n (Theorem 17).
 # ---------------------------------------------------------------------------
 
+def _e5_sweep(trials: int, fractions: Sequence[float]) -> SweepSpec:
+    return SweepSpec(
+        name="e5-resilience",
+        scenarios=(
+            ScenarioSpec(
+                name="subquadratic", protocol="subquadratic",
+                grid={"f_fraction": tuple(fractions)},
+                fixed={"n": 200, "lam": 40, "epsilon": 0.1},
+                inputs="ones", adversary="equivocate", seeds=range(trials)),
+        ),
+    )
+
+
 def experiment_e5(trials: int = 6,
                   fractions: Sequence[float] = (0.1, 0.2, 0.3, 0.4),
                   ) -> ExperimentResult:
     """Consistency/validity under the equivocation stress, by corruption
     fraction."""
-    params = SecurityParameters(lam=40, epsilon=0.1)
-    n = 200
+    sweep = run_sweep(_e5_sweep(trials, fractions))
     table = Table(
         "E5 (Theorem 17) — resilience sweep, static equivocation adversary",
         ["f/n", "f", "consistency", "validity", "termination",
          "mean rounds", "per-topic failure (pred.)"],
     )
     data: Dict[str, Any] = {}
-    for fraction in fractions:
-        f = int(fraction * n)
-        stats = run_trials(
-            build_subquadratic_ba, f=f, seeds=range(trials),
-            n=n, inputs=[1] * n, params=params,
-            adversary_factory=StaticEquivocationAdversary)
+    for cell in sweep.scenario("subquadratic"):
+        stats = cell.stats
+        n, f = cell.cell.n, cell.cell.f
+        lam = _binding(cell, "lam")
+        fraction = _binding(cell, "f_fraction")
         # The analytical envelope: the probability that a single topic's
         # committee goes bad (Lemma 11).  The measured rates should track
         # this prediction — near-perfect at small f/n, degrading as f/n
         # approaches 1/2 for a concrete (non-asymptotic) λ.
-        predicted = (corrupt_quorum_probability(n, f, params.lam)
-                     + honest_quorum_failure_probability(n, f, params.lam))
+        predicted = (corrupt_quorum_probability(n, f, lam)
+                     + honest_quorum_failure_probability(n, f, lam))
         table.add_row(fraction, f, stats.consistency_rate,
                       stats.validity_rate, stats.termination_rate,
                       round(stats.mean_rounds, 1), round(predicted, 4))
@@ -280,44 +346,54 @@ def experiment_e5(trials: int = 6,
 # E6 — bit-specific vs round-specific eligibility (Remark 3.3).
 # ---------------------------------------------------------------------------
 
+def _e6_sweep(trials: int) -> SweepSpec:
+    base = {"n": 150, "f": 45, "lam": 30, "epsilon": 0.1, "epochs": 6}
+    return SweepSpec(
+        name="e6-eligibility-design",
+        scenarios=(
+            ScenarioSpec(
+                name="round-no-erasure", protocol="round-eligibility",
+                executor="per-seed",
+                fixed={**base, "memory_erasure": False}, inputs="ones",
+                adversary="ack-equivocate", adversary_kwargs={"reserve": 60},
+                seeds=range(trials)),
+            ScenarioSpec(
+                name="round-erasure", protocol="round-eligibility",
+                executor="per-seed",
+                fixed={**base, "memory_erasure": True}, inputs="ones",
+                adversary="ack-equivocate", adversary_kwargs={"reserve": 60},
+                seeds=range(trials)),
+            ScenarioSpec(
+                name="bit-specific", protocol="phase-king-subquadratic",
+                executor="per-seed", fixed=base, inputs="ones",
+                adversary="speaker", seeds=range(trials)),
+        ),
+    )
+
+
 def experiment_e6(trials: int = 5) -> ExperimentResult:
     """The equivocation attack across the three designs."""
-    params = SecurityParameters(lam=30, epsilon=0.1)
-    n, f = 150, 45
+    sweep = run_sweep(_e6_sweep(trials))
     table = Table(
         "E6 (Remark 3.3) — eligibility design vs same-round equivocation",
         ["design", "erasure", "consistency rate", "forged ACKs/run"],
     )
     data: Dict[str, Any] = {}
 
-    def run_round_eligibility(memory_erasure: bool):
-        stats_forged = []
-        consistent = 0
-        for seed in range(trials):
-            instance = build_round_eligibility(
-                n=n, f=f, inputs=[1] * n, seed=seed, params=params,
-                epochs=6, memory_erasure=memory_erasure)
-            adversary = AckEquivocationAdversary(instance, reserve=60)
-            result = run_instance(instance, f, adversary, seed=seed)
-            consistent += result.consistent()
-            stats_forged.append(adversary.forged)
-        return consistent / trials, mean([float(x) for x in stats_forged])
+    def rates(scenario: str):
+        records = _one(sweep, scenario).payload
+        rate = sum(result.consistent() for result, _ in records) / trials
+        return rate, records
 
-    rate, forged = run_round_eligibility(memory_erasure=False)
+    rate, records = rates("round-no-erasure")
+    forged = mean([float(adversary.forged) for _, adversary in records])
     table.add_row("round-specific", False, rate, round(forged, 1))
     data["round_no_erasure"] = rate
-    rate, forged = run_round_eligibility(memory_erasure=True)
+    rate, records = rates("round-erasure")
+    forged = mean([float(adversary.forged) for _, adversary in records])
     table.add_row("round-specific", True, rate, round(forged, 1))
     data["round_erasure"] = rate
-
-    consistent = 0
-    for seed in range(trials):
-        instance = build_phase_king_subquadratic(
-            n=n, f=f, inputs=[1] * n, seed=seed, params=params, epochs=6)
-        adversary = AdaptiveSpeakerAdversary(instance)
-        result = run_instance(instance, f, adversary, seed=seed)
-        consistent += result.consistent()
-    rate = consistent / trials
+    rate, _records = rates("bit-specific")
     table.add_row("bit-specific (paper)", False, rate, 0)
     data["bit_specific"] = rate
     return ExperimentResult(name="E6", tables=[table], data=data)
@@ -327,19 +403,31 @@ def experiment_e6(trials: int = 5) -> ExperimentResult:
 # E7 — Theorem 3: setup assumptions are necessary.
 # ---------------------------------------------------------------------------
 
+_E7_SWEEP = SweepSpec(
+    name="e7-no-pki",
+    scenarios=(
+        ScenarioSpec(
+            name="shared-ro", executor="hypothetical",
+            fixed=dict(n=60, lam=24, epochs=6, setup="shared-ro"),
+            seeds=(2,)),
+        ScenarioSpec(
+            name="pki", executor="hypothetical",
+            fixed=dict(n=24, lam=12, epochs=4, setup="pki"),
+            seeds=(2,)),
+    ),
+)
+
+
 def experiment_e7() -> ExperimentResult:
     """The Q --- 1 --- Q' experiment with and without a PKI."""
+    sweep = run_sweep(_E7_SWEEP)
     table = Table(
         "E7 (Theorem 3) — hypothetical experiment Q --- 1 --- Q'",
         ["setup", "n", "Q outputs", "Q' outputs", "bridge", "contradiction",
          "Q' speakers (corruptions)", "bridge rejections"],
     )
-    shared = run_hypothetical_experiment(
-        n=60, seed=2, params=SecurityParameters(lam=24), epochs=6,
-        setup="shared-ro")
-    pki = run_hypothetical_experiment(
-        n=24, seed=2, params=SecurityParameters(lam=12), epochs=4,
-        setup="pki")
+    shared = _one(sweep, "shared-ro").payload
+    pki = _one(sweep, "pki").payload
     for report in (shared, pki):
         table.add_row(report.setup, report.n,
                       sorted(report.left_outputs),
@@ -354,26 +442,26 @@ def experiment_e7() -> ExperimentResult:
 # E8 — the stochastic lemmas (10, 11, 12) vs measurement.
 # ---------------------------------------------------------------------------
 
+def _e8_sweep(samples: int) -> SweepSpec:
+    return SweepSpec(
+        name="e8-committee-census",
+        scenarios=(
+            ScenarioSpec(
+                name="committee", executor="committee-census",
+                fixed={"n": 300, "f": 120, "lam": 30, "epsilon": 0.1,
+                       "topic": ("Vote", 1, 1)},
+                seeds=tuple(("e8", sample) for sample in range(samples))),
+        ),
+    )
+
+
 def experiment_e8(samples: int = 400) -> ExperimentResult:
     """Monte-Carlo committee statistics vs the exact/Chernoff predictions."""
     n, f, lam = 300, 120, 30
-    params = SecurityParameters(lam=lam, epsilon=0.1)
-    schedule = DifficultySchedule.for_parameters(params, n)
-    threshold = (lam + 1) // 2
-
-    corrupt_hits = 0
-    honest_misses = 0
-    committee_sizes: List[float] = []
-    for sample in range(samples):
-        source = FMineEligibility(n, schedule, seed=("e8", sample))
-        topic = ("Vote", 1, 1)
-        eligible = [node for node in range(n)
-                    if source.capability_for(node).try_mine(topic) is not None]
-        committee_sizes.append(float(len(eligible)))
-        corrupt = sum(1 for node in eligible if node < f)
-        honest = len(eligible) - corrupt
-        corrupt_hits += corrupt >= threshold
-        honest_misses += honest < threshold
+    census = _one(run_sweep(_e8_sweep(samples)), "committee")
+    committee_sizes = [float(size) for size, _corrupt in census.payload]
+    corrupt_rate = census.metrics["corrupt_quorum_rate"]
+    honest_miss_rate = census.metrics["honest_miss_rate"]
 
     # The proposer lottery is cheap to sample, so use a larger pool for a
     # tighter Monte-Carlo estimate of Lemma 12's probability.
@@ -390,9 +478,9 @@ def experiment_e8(samples: int = 400) -> ExperimentResult:
         ["quantity", "measured", "predicted"],
     )
     table.add_row("mean committee size", round(mean(committee_sizes), 2), lam)
-    table.add_row("P[corrupt quorum ≥ λ/2]", corrupt_hits / samples,
+    table.add_row("P[corrupt quorum ≥ λ/2]", corrupt_rate,
                   round(corrupt_quorum_probability(n, f, lam), 5))
-    table.add_row("P[honest quorum < λ/2]", honest_misses / samples,
+    table.add_row("P[honest quorum < λ/2]", honest_miss_rate,
                   round(honest_quorum_failure_probability(n, f, lam), 5))
     table.add_row("P[good iteration]", good_iterations / proposer_samples,
                   round(good_iteration_probability(n), 4))
@@ -402,9 +490,9 @@ def experiment_e8(samples: int = 400) -> ExperimentResult:
         name="E8", tables=[table],
         data={
             "mean_committee": mean(committee_sizes),
-            "corrupt_quorum_rate": corrupt_hits / samples,
+            "corrupt_quorum_rate": corrupt_rate,
             "corrupt_quorum_pred": corrupt_quorum_probability(n, f, lam),
-            "honest_miss_rate": honest_misses / samples,
+            "honest_miss_rate": honest_miss_rate,
             "honest_miss_pred": honest_quorum_failure_probability(n, f, lam),
             "good_iteration_rate": good_iterations / proposer_samples,
             "good_iteration_pred": good_iteration_probability(n),
@@ -415,44 +503,69 @@ def experiment_e8(samples: int = 400) -> ExperimentResult:
 # E9 — the Section 1 comparison table.
 # ---------------------------------------------------------------------------
 
+#: (scenario, display name, tolerates, adaptive-safe, assumptions) — the
+#: qualitative columns of the Section 1 comparison, in table order.
+_E9_ROWS = (
+    ("dolev-strong", "dolev-strong (BB)", "f<n", "yes (quadratic)", "PKI"),
+    ("quadratic", "quadratic-ba", "f<n/2", "yes (quadratic)", "PKI"),
+    ("static-committee", "static-committee", "static only",
+     "NO (E1-style takeover)", "CRS+PKI"),
+    ("round-eligibility", "round-eligibility", "f<n/3",
+     "only with erasure", "PKI+RO+erasure"),
+    ("phase-king-subq", "phase-king-subq (§3.2)", "f<(1/3-ε)n", "yes", "PKI"),
+    ("subquadratic", "subquadratic-ba (§C.2)", "f<(1/2-ε)n", "yes", "PKI"),
+)
+
+
+def _e9_sweep(trials: int) -> SweepSpec:
+    n = 150
+    seeds = range(trials)
+    params = {"lam": 30, "epsilon": 0.1}
+    return SweepSpec(
+        name="e9-comparison",
+        scenarios=(
+            ScenarioSpec(
+                name="dolev-strong", protocol="dolev-strong",
+                fixed={"n": n, "f": 30, "sender_input": 1}, seeds=seeds),
+            ScenarioSpec(
+                name="quadratic", protocol="quadratic",
+                fixed={"n": n, "f": f_half_minus_one},
+                inputs="mixed", seeds=seeds),
+            ScenarioSpec(
+                name="static-committee", protocol="static-committee",
+                fixed={"n": n, "f": 40}, inputs="ones", seeds=seeds),
+            ScenarioSpec(
+                name="round-eligibility", protocol="round-eligibility",
+                fixed={"n": n, "f": 30, "epochs": 8, **params},
+                inputs="ones", seeds=seeds),
+            ScenarioSpec(
+                name="phase-king-subq", protocol="phase-king-subquadratic",
+                fixed={"n": n, "f": 30, "epochs": 8, **params},
+                inputs="ones", seeds=seeds),
+            ScenarioSpec(
+                name="subquadratic", protocol="subquadratic",
+                fixed={"n": n, "f": 60, **params},
+                inputs="mixed", seeds=seeds),
+        ),
+    )
+
+
 def experiment_e9(trials: int = 3) -> ExperimentResult:
     """All protocols, one table: resilience / rounds / multicasts."""
-    params = SecurityParameters(lam=30, epsilon=0.1)
-    n = 150
+    sweep = run_sweep(_e9_sweep(trials))
     table = Table(
         "E9 (Section 1) — protocol comparison (honest executions, mixed inputs)",
         ["protocol", "tolerates", "adaptive-safe", "rounds",
          "multicasts", "assumptions"],
     )
     data: Dict[str, Any] = {}
-
-    def record(name, stats, tolerates, adaptive_safe, assumptions):
+    for scenario, name, tolerates, adaptive_safe, assumptions in _E9_ROWS:
+        stats = _one(sweep, scenario).stats
         table.add_row(name, tolerates, adaptive_safe,
                       round(stats.mean_rounds, 1),
                       round(stats.mean_multicasts, 1), assumptions)
         data[name] = {"rounds": stats.mean_rounds,
                       "multicasts": stats.mean_multicasts}
-
-    stats = run_trials(build_dolev_strong, f=30, seeds=range(trials),
-                       n=n, sender_input=1)
-    record("dolev-strong (BB)", stats, "f<n", "yes (quadratic)", "PKI")
-    stats = run_trials(build_quadratic_ba, f=(n - 1) // 2, seeds=range(trials),
-                       n=n, inputs=_mixed_inputs(n))
-    record("quadratic-ba", stats, "f<n/2", "yes (quadratic)", "PKI")
-    stats = run_trials(build_static_committee, f=40, seeds=range(trials),
-                       n=n, inputs=[1] * n)
-    record("static-committee", stats, "static only", "NO (E1-style takeover)",
-           "CRS+PKI")
-    stats = run_trials(build_round_eligibility, f=30, seeds=range(trials),
-                       n=n, inputs=[1] * n, params=params, epochs=8)
-    record("round-eligibility", stats, "f<n/3", "only with erasure",
-           "PKI+RO+erasure")
-    stats = run_trials(build_phase_king_subquadratic, f=30, seeds=range(trials),
-                       n=n, inputs=[1] * n, params=params, epochs=8)
-    record("phase-king-subq (§3.2)", stats, "f<(1/3-ε)n", "yes", "PKI")
-    stats = run_trials(build_subquadratic_ba, f=60, seeds=range(trials),
-                       n=n, inputs=_mixed_inputs(n), params=params)
-    record("subquadratic-ba (§C.2)", stats, "f<(1/2-ε)n", "yes", "PKI")
     return ExperimentResult(name="E9", tables=[table], data=data)
 
 
@@ -460,32 +573,43 @@ def experiment_e9(trials: int = 3) -> ExperimentResult:
 # E10 — message size O(λ (log κ + log n)) (Theorem 17).
 # ---------------------------------------------------------------------------
 
+def _e10_sweep(trials: int) -> SweepSpec:
+    return SweepSpec(
+        name="e10-message-size",
+        scenarios=(
+            ScenarioSpec(
+                name="fmine", protocol="subquadratic",
+                grid={"lam": (20, 40), "n": (128, 512)},
+                fixed={"epsilon": 0.1, "f_fraction": 0.3},
+                inputs="ones", seeds=range(trials)),
+            ScenarioSpec(
+                name="vrf", protocol="subquadratic",
+                fixed={"n": 32, "lam": 12, "epsilon": 0.1,
+                       "f_fraction": 0.3, "mode": "vrf"},
+                inputs="ones", seeds=range(1)),
+        ),
+    )
+
+
 def experiment_e10(trials: int = 2) -> ExperimentResult:
     """Max message size vs λ and n, ideal and real-crypto modes."""
+    sweep = run_sweep(_e10_sweep(trials))
     table = Table(
         "E10 (Theorem 17) — maximum message size",
         ["mode", "n", "λ", "max message kbits", "multicast kbits total"],
     )
     data: Dict[str, Any] = {}
-    for lam in (20, 40):
-        for n in (128, 512):
-            params = SecurityParameters(lam=lam, epsilon=0.1)
-            f = int(0.3 * n)
-            stats = run_trials(
-                build_subquadratic_ba, f=f, seeds=range(trials),
-                n=n, inputs=[1] * n, params=params)
-            max_bits = max(r.metrics.max_message_bits for r in stats.results)
-            table.add_row("fmine", n, lam, round(max_bits / 1000, 2),
-                          round(stats.mean_multicast_bits / 1000, 1))
-            data[f"fmine_n{n}_lam{lam}"] = max_bits
-    n, lam = 32, 12
-    params = SecurityParameters(lam=lam, epsilon=0.1)
-    stats = run_trials(
-        build_subquadratic_ba, f=int(0.3 * n), seeds=range(1),
-        n=n, inputs=[1] * n, params=params, mode="vrf")
-    max_bits = max(r.metrics.max_message_bits for r in stats.results)
-    table.add_row("vrf (real crypto)", n, lam, round(max_bits / 1000, 2),
-                  round(stats.mean_multicast_bits / 1000, 1))
+    for cell in sweep.scenario("fmine"):
+        n, lam = cell.cell.n, _binding(cell, "lam")
+        max_bits = cell.stats.max_message_bits
+        table.add_row("fmine", n, lam, round(max_bits / 1000, 2),
+                      round(cell.stats.mean_multicast_bits / 1000, 1))
+        data[f"fmine_n{n}_lam{lam}"] = max_bits
+    vrf = _one(sweep, "vrf")
+    max_bits = vrf.stats.max_message_bits
+    table.add_row("vrf (real crypto)", vrf.cell.n, _binding(vrf, "lam"),
+                  round(max_bits / 1000, 2),
+                  round(vrf.stats.mean_multicast_bits / 1000, 1))
     data["vrf_max_bits"] = max_bits
     return ExperimentResult(name="E10", tables=[table], data=data)
 
@@ -493,6 +617,20 @@ def experiment_e10(trials: int = 2) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # E11 — Appendix D/E: the compiled world matches the hybrid world.
 # ---------------------------------------------------------------------------
+
+def _e11_sweep(trials: int) -> SweepSpec:
+    return SweepSpec(
+        name="e11-worlds",
+        scenarios=(
+            ScenarioSpec(
+                name="worlds", protocol="subquadratic",
+                grid={"mode": ("fmine", "vrf")},
+                fixed={"n": 36, "f": 10, "lam": 12, "epsilon": 0.1},
+                inputs="mixed", adversary="equivocate",
+                seeds=range(trials)),
+        ),
+    )
+
 
 def experiment_e11(trials: int = 3) -> ExperimentResult:
     """Run identical configurations in the Fmine-hybrid and compiled
@@ -504,19 +642,16 @@ def experiment_e11(trials: int = 3) -> ExperimentResult:
     shape must match (the exact coins differ — the compiled lottery is the
     VRF's, not Fmine's).
     """
-    n, f = 36, 10
-    params = SecurityParameters(lam=12, epsilon=0.1)
+    sweep = run_sweep(_e11_sweep(trials))
     table = Table(
         "E11 (Appendices D/E) — Fmine-hybrid world vs compiled world",
         ["world", "consistency", "validity", "termination",
          "mean multicasts", "mean rounds"],
     )
     data: Dict[str, Any] = {}
-    for mode in ("fmine", "vrf"):
-        stats = run_trials(
-            build_subquadratic_ba, f=f, seeds=range(trials),
-            n=n, inputs=_mixed_inputs(n), params=params, mode=mode,
-            adversary_factory=StaticEquivocationAdversary)
+    for cell in sweep.scenario("worlds"):
+        stats = cell.stats
+        mode = _binding(cell, "mode")
         table.add_row(mode, stats.consistency_rate, stats.validity_rate,
                       stats.termination_rate,
                       round(stats.mean_multicasts, 1),
@@ -544,7 +679,14 @@ def experiment_e12(trials: int = 4) -> ExperimentResult:
         to its quadratic warmup — same agreement, linear speakers.
     (c) Quorum threshold: λ/2 balances safety (corrupt quorum) against
         liveness (honest quorum); the Lemma 11 tails quantify both sides.
+
+    Stays imperative: the ablations sweep *internal* design parameters
+    (per-seed custom difficulty schedules, degenerate thresholds) that
+    the scenario layer's builder registry deliberately does not model.
     """
+    from repro.adversaries import StaticEquivocationAdversary
+    from repro.protocols import build_quadratic_ba, build_subquadratic_ba
+
     data: Dict[str, Any] = {}
 
     # (a) Leader-difficulty sweep.

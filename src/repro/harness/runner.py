@@ -66,6 +66,7 @@ class TrialStats:
         self._multicast_bits = 0
         self._rounds = 0
         self._corruptions = 0
+        self._max_message_bits = 0
         for result in results or []:
             self.add(result)
 
@@ -86,6 +87,8 @@ class TrialStats:
         self._multicast_bits += result.metrics.multicast_complexity_bits
         self._rounds += result.rounds_executed
         self._corruptions += result.corruptions_used
+        self._max_message_bits = max(self._max_message_bits,
+                                     result.metrics.max_message_bits)
 
     @property
     def trials(self) -> int:
@@ -123,6 +126,11 @@ class TrialStats:
     def mean_corruptions(self) -> float:
         return self._corruptions / self.trials if self._results else 0.0
 
+    @property
+    def max_message_bits(self) -> int:
+        """Largest single message seen across all trials."""
+        return self._max_message_bits
+
     def decision_rounds(self) -> List[int]:
         rounds: List[int] = []
         for result in self._results:
@@ -156,6 +164,7 @@ def run_trials(
     model: AdversaryModel = AdversaryModel.ADAPTIVE,
     workers: int = 1,
     transcript_retention: str = TRANSCRIPT_FULL,
+    pool=None,
     **builder_kwargs,
 ) -> TrialStats:
     """Build and run the protocol once per seed; aggregate the outcomes.
@@ -170,21 +179,37 @@ def run_trials(
     (each trial is already independently seeded).  The builder, the
     adversary factory, and the execution results must be picklable —
     true for all module-level builders in this repo.
+
+    ``pool`` lends an already-running ``ProcessPoolExecutor`` instead:
+    the caller keeps ownership (it is not shut down here), so worker
+    processes — and any process-local state they carry, like the shared
+    eligibility-lottery caches — persist across consecutive calls.
+    :func:`~repro.harness.scenarios.run_sweep` uses this to share one
+    pool across a whole sweep.
     """
     stats = TrialStats()
     seeds = list(seeds)
-    if workers > 1 and len(seeds) > 1:
+    if pool is None and workers > 1 and len(seeds) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=min(workers, len(seeds))) as pool:
+        with ProcessPoolExecutor(max_workers=min(workers, len(seeds))) as owned:
             futures = [
-                pool.submit(_run_one_trial, builder, f, seed,
-                            adversary_factory, model, transcript_retention,
-                            builder_kwargs)
+                owned.submit(_run_one_trial, builder, f, seed,
+                             adversary_factory, model, transcript_retention,
+                             builder_kwargs)
                 for seed in seeds
             ]
             for future in futures:
                 stats.add(future.result())
+    elif pool is not None and len(seeds) > 1:
+        futures = [
+            pool.submit(_run_one_trial, builder, f, seed,
+                        adversary_factory, model, transcript_retention,
+                        builder_kwargs)
+            for seed in seeds
+        ]
+        for future in futures:
+            stats.add(future.result())
     else:
         for seed in seeds:
             stats.add(_run_one_trial(builder, f, seed, adversary_factory,

@@ -1,0 +1,777 @@
+"""Declarative scenario-matrix layer: specs in, sweeps out.
+
+Every workload in this repo is some cross-product of *protocol ×
+adversary × input distribution × parameters (n, f, λ, seeds)*.  Before
+this module each such grid was an imperative loop inside an experiment
+function; here the grid is **data**:
+
+- :class:`ScenarioSpec` names a protocol builder, an adversary factory,
+  an input distribution, a parameter ``grid`` (cross-product axes) and
+  ``fixed`` bindings, plus the seeds to repeat each cell over;
+- :class:`SweepSpec` groups scenarios under one name;
+- :func:`run_sweep` expands the cross-product into :class:`Cell`\\ s and
+  executes each one — through :func:`~repro.harness.runner.run_trials`
+  (``workers=N`` fans seeds over processes) for ordinary protocol cells,
+  or through a registered *executor* for the lower-bound attack harnesses
+  — aggregating per-cell O(1)-counter metrics into a
+  :class:`SweepResult` that renders as a :class:`Table` and exports
+  CSV/JSON artifacts.
+
+Reserved binding names (resolved by the layer, everything else passes
+through to the builder):
+
+``n``            number of nodes (required by protocol executors)
+``f``            corruption budget — an int, or a callable ``n -> f``
+``f_fraction``   derive ``f = int(fraction * n)``
+``lam``          build ``SecurityParameters(lam=...)`` for protocols
+``epsilon``      resilience slack for the same ``SecurityParameters``
+``adversary``    per-cell adversary key (usable as a grid axis)
+``inputs``       per-cell input-distribution key (usable as a grid axis)
+
+Determinism: cells expand in scenario order then row-major grid order,
+trials aggregate in seed order for any worker count, and the shared
+eligibility-lottery cache (:mod:`repro.eligibility.lottery_cache`)
+memoizes coins that are already a pure function of ``(seed, node,
+topic)`` — so a ``SweepResult``'s rows are identical with and without
+``workers`` and with and without the cache.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.adversaries import (
+    AckEquivocationAdversary,
+    AdaptiveSpeakerAdversary,
+    CrashAdversary,
+    StaticEquivocationAdversary,
+)
+from repro.eligibility.lottery_cache import SharedLotteryCache, release_cache
+from repro.errors import ConfigurationError
+from repro.harness.runner import TrialStats, run_instance, run_trials
+from repro.harness.tables import Table
+from repro.protocols import (
+    build_broadcast_from_ba,
+    build_dolev_strong,
+    build_naive_broadcast,
+    build_phase_king,
+    build_phase_king_subquadratic,
+    build_quadratic_ba,
+    build_round_eligibility,
+    build_static_committee,
+    build_subquadratic_ba,
+)
+from repro.types import SecurityParameters
+
+# ---------------------------------------------------------------------------
+# Registries: protocols, adversaries, input distributions.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """Registry metadata the binding layer needs about one builder."""
+
+    builder: Callable[..., Any]
+    #: "per-node" (builder takes ``inputs=[bit]*n``) or "sender"
+    #: (builder takes ``sender_input=bit`` from the bindings).
+    input_style: str = "per-node"
+    #: Whether the builder accepts ``params=SecurityParameters(...)``
+    #: (so ``lam``/``epsilon`` axes can be folded into one).
+    accepts_params: bool = False
+    #: Whether the builder accepts ``coin_cache=`` for the shared
+    #: eligibility lottery (fmine mode only).
+    shares_lottery: bool = False
+
+
+PROTOCOLS: Dict[str, ProtocolEntry] = {
+    "subquadratic": ProtocolEntry(
+        build_subquadratic_ba, accepts_params=True, shares_lottery=True),
+    "quadratic": ProtocolEntry(build_quadratic_ba),
+    "phase-king": ProtocolEntry(build_phase_king),
+    "phase-king-subquadratic": ProtocolEntry(
+        build_phase_king_subquadratic, accepts_params=True,
+        shares_lottery=True),
+    "static-committee": ProtocolEntry(build_static_committee),
+    "round-eligibility": ProtocolEntry(
+        build_round_eligibility, accepts_params=True),
+    "dolev-strong": ProtocolEntry(build_dolev_strong, input_style="sender"),
+    "naive-broadcast": ProtocolEntry(
+        build_naive_broadcast, input_style="sender"),
+    "broadcast-from-ba": ProtocolEntry(
+        build_broadcast_from_ba, input_style="sender"),
+}
+
+
+def _no_adversary(instance, **kwargs):
+    return None
+
+
+def _crash_adversary(instance, **kwargs):
+    return CrashAdversary(**kwargs)
+
+
+ADVERSARIES: Dict[str, Callable[..., Any]] = {
+    "none": _no_adversary,
+    "crash": _crash_adversary,
+    "equivocate": StaticEquivocationAdversary,
+    "ack-equivocate": AckEquivocationAdversary,
+    "speaker": AdaptiveSpeakerAdversary,
+}
+
+
+def inputs_zeros(n: int) -> List[int]:
+    return [0] * n
+
+
+def inputs_ones(n: int) -> List[int]:
+    return [1] * n
+
+
+def inputs_mixed(n: int) -> List[int]:
+    return [i % 2 for i in range(n)]
+
+
+INPUTS: Dict[str, Callable[[int], List[int]]] = {
+    "zeros": inputs_zeros,
+    "ones": inputs_ones,
+    "mixed": inputs_mixed,
+}
+
+
+def f_half_minus_one(n: int) -> int:
+    """The maximal honest-majority budget ``f = (n - 1) // 2``, for use
+    as a callable ``f`` binding."""
+    return (n - 1) // 2
+
+
+@dataclass(frozen=True)
+class AdversaryFactorySpec:
+    """A picklable adversary factory: registry key + keyword arguments.
+
+    ``run_trials(workers=N)`` pickles the factory to worker processes, so
+    it must be a module-level object rather than a closure.
+    """
+
+    name: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def __call__(self, instance):
+        return ADVERSARIES[self.name](instance, **dict(self.kwargs))
+
+
+# ---------------------------------------------------------------------------
+# Specs and cells.
+# ---------------------------------------------------------------------------
+
+#: Bindings resolved by the layer rather than passed to the builder.
+RESERVED_BINDINGS = frozenset(
+    {"n", "f", "f_fraction", "lam", "epsilon", "adversary", "inputs"})
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One protocol × adversary × inputs family over a parameter grid.
+
+    ``grid`` axes cross-multiply in insertion order (first axis is the
+    outermost loop); ``fixed`` bindings apply to every cell and are
+    overridden by grid axes of the same name.  Bindings not in
+    :data:`RESERVED_BINDINGS` pass through to the protocol builder
+    verbatim (``epochs``, ``mode``, ``max_iterations``, ``sender_input``,
+    a pre-built ``params`` object, ...).  A ``ba_builder`` binding given
+    as a string resolves through :data:`PROTOCOLS` (for the
+    broadcast-from-BA reduction).
+    """
+
+    name: str
+    protocol: Optional[str] = None
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+    adversary: Optional[str] = None
+    adversary_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    inputs: Optional[str] = None
+    seeds: Sequence[Any] = (0, 1, 2)
+    executor: str = "trials"
+
+    def cells(self) -> List["Cell"]:
+        """Expand the grid cross-product into bound cells."""
+        if self.executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {self.executor!r} "
+                f"(have {sorted(EXECUTORS)})")
+        axes = list(self.grid.items())
+        for axis, values in axes:
+            if not isinstance(values, Sequence) or isinstance(values, str):
+                raise ConfigurationError(
+                    f"grid axis {axis!r} must be a sequence of values")
+        points = itertools.product(*(values for _, values in axes)) \
+            if axes else [()]
+        cells = []
+        for point in points:
+            bindings = dict(self.fixed)
+            bindings.update(zip((axis for axis, _ in axes), point))
+            cells.append(_bind_cell(self, bindings))
+        return cells
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named collection of scenarios executed as one sweep."""
+
+    name: str
+    scenarios: Tuple[ScenarioSpec, ...]
+    description: str = ""
+
+    def expand(self) -> List["Cell"]:
+        cells: List[Cell] = []
+        for scenario in self.scenarios:
+            cells.extend(scenario.cells())
+        return cells
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fully-bound grid point, ready to execute."""
+
+    scenario: str
+    executor: str
+    protocol: Optional[str]
+    adversary: Optional[str]
+    adversary_kwargs: Tuple[Tuple[str, Any], ...]
+    inputs: Optional[str]
+    n: Optional[int]
+    f: Optional[int]
+    seeds: Tuple[Any, ...]
+    #: Keyword arguments handed to the builder / attack runner (without
+    #: ``f`` and ``seed``/``seeds``, which the executor supplies).
+    kwargs: Tuple[Tuple[str, Any], ...]
+    #: The resolved reserved bindings, kept for labels and artifact rows.
+    bindings: Tuple[Tuple[str, Any], ...]
+
+    def label(self) -> str:
+        parts = [self.scenario]
+        parts.extend(f"{key}={value}" for key, value in self.bindings
+                     if key not in ("adversary", "inputs"))
+        if self.adversary:
+            parts.append(f"adversary={self.adversary}")
+        return " ".join(parts)
+
+    def builder_kwargs(self) -> Dict[str, Any]:
+        return dict(self.kwargs)
+
+
+def _resolve_f(raw: Mapping[str, Any], n: Optional[int]) -> Optional[int]:
+    f = raw.get("f")
+    if callable(f):
+        if n is None:
+            raise ConfigurationError("callable f requires an n binding")
+        return int(f(n))
+    if f is not None:
+        return int(f)
+    fraction = raw.get("f_fraction")
+    if fraction is not None:
+        if n is None:
+            raise ConfigurationError("f_fraction requires an n binding")
+        return int(fraction * n)
+    return None
+
+
+def _bind_cell(spec: ScenarioSpec, raw: Dict[str, Any]) -> Cell:
+    """Resolve one grid point's reserved bindings into a :class:`Cell`."""
+    executor = EXECUTORS[spec.executor]
+    entry: Optional[ProtocolEntry] = None
+    if spec.protocol is not None:
+        if spec.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {spec.protocol!r} "
+                f"(have {sorted(PROTOCOLS)})")
+        entry = PROTOCOLS[spec.protocol]
+    elif executor.needs_protocol:
+        raise ConfigurationError(
+            f"scenario {spec.name!r}: executor {spec.executor!r} "
+            "requires a protocol")
+
+    adversary = raw.pop("adversary", spec.adversary)
+    if adversary is not None and adversary not in ADVERSARIES:
+        raise ConfigurationError(
+            f"unknown adversary {adversary!r} (have {sorted(ADVERSARIES)})")
+    inputs_key = raw.pop("inputs", spec.inputs)
+    if inputs_key is not None and inputs_key not in INPUTS:
+        raise ConfigurationError(
+            f"unknown input distribution {inputs_key!r} "
+            f"(have {sorted(INPUTS)})")
+
+    n = raw.get("n")
+    f = _resolve_f(raw, n)
+    if executor.needs_n and n is None:
+        raise ConfigurationError(
+            f"scenario {spec.name!r}: executor {spec.executor!r} "
+            "requires an n binding")
+    if executor.needs_f and f is None:
+        raise ConfigurationError(
+            f"scenario {spec.name!r}: executor {spec.executor!r} "
+            "requires an f or f_fraction binding")
+    if executor.single_seed and len(spec.seeds) != 1:
+        raise ConfigurationError(
+            f"scenario {spec.name!r}: executor {spec.executor!r} runs "
+            f"exactly one seed, got {len(spec.seeds)}")
+
+    # Attack executors have their own ``epsilon`` (a message-budget
+    # factor, not the resilience slack), so lam/epsilon fold into
+    # SecurityParameters only for the protocol executors.
+    reserved = (RESERVED_BINDINGS if executor.folds_params
+                else RESERVED_BINDINGS - {"lam", "epsilon"})
+    kwargs = {key: value for key, value in raw.items()
+              if key not in reserved}
+    if isinstance(kwargs.get("ba_builder"), str):
+        kwargs["ba_builder"] = PROTOCOLS[kwargs["ba_builder"]].builder
+    if n is not None:
+        kwargs["n"] = n
+    # Fold lam/epsilon axes into SecurityParameters for builders that
+    # take them.  Refuse combinations that would silently drop a binding
+    # the artifact rows would still report (a pre-built ``params`` with
+    # lam/epsilon alongside, lam on a protocol without params, epsilon
+    # with nothing to fold it into).
+    lam = raw.get("lam")
+    epsilon = raw.get("epsilon")
+    if executor.folds_params:
+        if "params" in kwargs and (lam is not None or epsilon is not None):
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: both a pre-built params binding "
+                "and lam/epsilon given — the latter would be ignored")
+        if (lam is not None and entry is not None
+                and not entry.accepts_params):
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: protocol {spec.protocol!r} does "
+                "not accept params; the lam binding would be ignored")
+        if lam is None and epsilon is not None:
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: epsilon requires a lam binding "
+                "to fold into SecurityParameters")
+        if lam is not None and (entry is None or entry.accepts_params):
+            params_kwargs: Dict[str, Any] = {"lam": lam}
+            if epsilon is not None:
+                params_kwargs["epsilon"] = epsilon
+            kwargs["params"] = SecurityParameters(**params_kwargs)
+    if entry is not None and entry.input_style == "per-node":
+        if "inputs" not in kwargs:
+            kwargs["inputs"] = INPUTS[inputs_key or "mixed"](n)
+
+    seen = set()
+    bindings: List[Tuple[str, Any]] = []
+
+    def _record(key: str, value: Any) -> None:
+        if key not in seen:
+            seen.add(key)
+            bindings.append((key, value))
+
+    for key in ("n", "f", "f_fraction", "lam", "epsilon"):
+        if key == "f":
+            if f is not None:
+                _record("f", f)
+        elif key in raw and not callable(raw[key]):
+            _record(key, raw[key])
+    for key, value in raw.items():
+        if key in RESERVED_BINDINGS or key in ("params", "ba_builder"):
+            continue
+        _record(key, value)
+    if adversary is not None:
+        _record("adversary", adversary)
+    if inputs_key is not None:
+        _record("inputs", inputs_key)
+
+    return Cell(
+        scenario=spec.name,
+        executor=spec.executor,
+        protocol=spec.protocol,
+        adversary=adversary,
+        adversary_kwargs=tuple(sorted(spec.adversary_kwargs.items())),
+        inputs=inputs_key,
+        n=n,
+        f=f,
+        seeds=tuple(spec.seeds),
+        kwargs=tuple(kwargs.items()),
+        bindings=tuple(bindings),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Executors.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Executor:
+    """How a cell runs: the callable plus its binding requirements."""
+
+    run: Callable[..., Tuple[Any, Dict[str, Any]]]
+    needs_protocol: bool = True
+    needs_n: bool = True
+    needs_f: bool = True
+    #: Whether ``lam``/``epsilon`` bindings fold into SecurityParameters
+    #: (protocol executors) or pass through verbatim (attack executors,
+    #: whose ``epsilon`` is the lower-bound message-budget factor).
+    folds_params: bool = True
+    #: Executors that run exactly one seed; multi-seed specs are
+    #: rejected rather than silently truncated to ``seeds[0]``.
+    single_seed: bool = False
+
+
+def _is_scalar(value: Any) -> bool:
+    return value is None or isinstance(value, (bool, int, float, str))
+
+
+def _stats_metrics(stats: TrialStats) -> Dict[str, Any]:
+    return {
+        "trials": stats.trials,
+        "consistency_rate": stats.consistency_rate,
+        "validity_rate": stats.validity_rate,
+        "termination_rate": stats.termination_rate,
+        "violation_rate": stats.violation_rate,
+        "mean_rounds": stats.mean_rounds,
+        "mean_multicasts": stats.mean_multicasts,
+        "mean_multicast_bits": stats.mean_multicast_bits,
+        "mean_corruptions": stats.mean_corruptions,
+        "max_message_bits": stats.max_message_bits,
+    }
+
+
+def _report_metrics(report: Any) -> Dict[str, Any]:
+    """Scalar fields of an attack-report dataclass, for artifact rows."""
+    if dataclasses.is_dataclass(report):
+        return {field.name: getattr(report, field.name)
+                for field in dataclasses.fields(report)
+                if _is_scalar(getattr(report, field.name))}
+    return {}
+
+
+def _cell_trial_kwargs(cell: Cell,
+                       coin_cache: Optional[SharedLotteryCache],
+                       ) -> Dict[str, Any]:
+    entry = PROTOCOLS[cell.protocol]
+    kwargs = cell.builder_kwargs()
+    if (coin_cache is not None and entry.shares_lottery
+            and kwargs.get("mode", "fmine") == "fmine"
+            and "eligibility" not in kwargs):
+        kwargs["coin_cache"] = coin_cache
+    return kwargs
+
+
+def _adversary_factory(cell: Cell) -> Optional[AdversaryFactorySpec]:
+    if cell.adversary is None:
+        return None
+    return AdversaryFactorySpec(cell.adversary, cell.adversary_kwargs)
+
+
+def _execute_trials(cell: Cell, workers: int,
+                    coin_cache: Optional[SharedLotteryCache],
+                    pool=None) -> Tuple[TrialStats, Dict[str, Any]]:
+    """The default executor: :func:`run_trials` over the cell's seeds."""
+    stats = run_trials(
+        PROTOCOLS[cell.protocol].builder,
+        f=cell.f,
+        seeds=cell.seeds,
+        adversary_factory=_adversary_factory(cell),
+        workers=workers,
+        pool=pool,
+        **_cell_trial_kwargs(cell, coin_cache),
+    )
+    return stats, _stats_metrics(stats)
+
+
+def _execute_per_seed(cell: Cell, workers: int,
+                      coin_cache: Optional[SharedLotteryCache],
+                      pool=None,
+                      ) -> Tuple[List[Tuple[Any, Any]], Dict[str, Any]]:
+    """Sequential per-seed runner that keeps the adversary objects.
+
+    Used when the table needs adversary-side statistics (forged ACK
+    counts, corruption schedules) that :class:`TrialStats` does not
+    carry; always sequential so the adversary objects stay in-process.
+    """
+    builder = PROTOCOLS[cell.protocol].builder
+    kwargs = _cell_trial_kwargs(cell, coin_cache)
+    factory = _adversary_factory(cell)
+    records: List[Tuple[Any, Any]] = []
+    stats = TrialStats()
+    for seed in cell.seeds:
+        instance = builder(f=cell.f, seed=seed, **kwargs)
+        adversary = factory(instance) if factory is not None else None
+        result = run_instance(instance, cell.f, adversary, seed=seed)
+        records.append((result, adversary))
+        stats.add(result)
+    return records, _stats_metrics(stats)
+
+
+def _attack_kwargs(cell: Cell) -> Dict[str, Any]:
+    kwargs = cell.builder_kwargs()
+    kwargs.pop("n", None)  # passed positionally by the attack runners
+    return kwargs
+
+
+def _execute_theorem4(cell: Cell, workers: int,
+                      coin_cache: Optional[SharedLotteryCache],
+                      pool=None):
+    from repro.lowerbounds import run_theorem4_attack
+    report = run_theorem4_attack(
+        PROTOCOLS[cell.protocol].builder, n=cell.n, f=cell.f,
+        seeds=cell.seeds, **_attack_kwargs(cell))
+    return report, _report_metrics(report)
+
+
+def _execute_theorem4_census(cell: Cell, workers: int,
+                             coin_cache: Optional[SharedLotteryCache],
+                             pool=None):
+    from repro.lowerbounds.theorem4 import run_theorem4_census
+    census = run_theorem4_census(
+        PROTOCOLS[cell.protocol].builder, n=cell.n, f=cell.f,
+        seeds=cell.seeds, **_attack_kwargs(cell))
+    return census, _report_metrics(census)
+
+
+def _execute_dolev_reischuk(cell: Cell, workers: int,
+                            coin_cache: Optional[SharedLotteryCache],
+                            pool=None):
+    from repro.lowerbounds import run_dolev_reischuk_attack
+    report = run_dolev_reischuk_attack(
+        PROTOCOLS[cell.protocol].builder, n=cell.n, f=cell.f,
+        seed=cell.seeds[0], **_attack_kwargs(cell))
+    return report, _report_metrics(report)
+
+
+def _execute_hypothetical(cell: Cell, workers: int,
+                          coin_cache: Optional[SharedLotteryCache],
+                          pool=None):
+    from repro.lowerbounds import run_hypothetical_experiment
+    report = run_hypothetical_experiment(
+        seed=cell.seeds[0], **cell.builder_kwargs())
+    return report, _report_metrics(report)
+
+
+def _execute_committee_census(cell: Cell, workers: int,
+                              coin_cache: Optional[SharedLotteryCache],
+                              pool=None):
+    """Monte-Carlo committee statistics (Lemmas 10–11).
+
+    Samples the eligibility lottery itself — no protocol execution — one
+    fresh :class:`FMineEligibility` per seed, recording the committee
+    size and its corrupt membership for the cell's ``topic``.
+    """
+    from repro.eligibility import DifficultySchedule, FMineEligibility
+    kwargs = cell.builder_kwargs()
+    params = kwargs["params"]
+    topic = tuple(kwargs.get("topic", ("Vote", 1, 1)))
+    schedule = DifficultySchedule.for_parameters(params, cell.n)
+    threshold = kwargs.get("threshold", (params.lam + 1) // 2)
+    samples: List[Tuple[int, int]] = []
+    corrupt_hits = 0
+    honest_misses = 0
+    for seed in cell.seeds:
+        # Deliberately no coin_cache: every census sample has a unique
+        # seed, so the sweep-wide cache could never hit — it would only
+        # accumulate n × samples dead entries.  Within one sample the
+        # per-instance FMine memo already deduplicates.
+        source = FMineEligibility(cell.n, schedule, seed=seed)
+        eligible = [node for node in range(cell.n)
+                    if source.capability_for(node).try_mine(topic) is not None]
+        corrupt = sum(1 for node in eligible if node < cell.f)
+        samples.append((len(eligible), corrupt))
+        corrupt_hits += corrupt >= threshold
+        honest_misses += (len(eligible) - corrupt) < threshold
+    count = len(samples)
+    metrics = {
+        "samples": count,
+        "mean_committee_size":
+            sum(size for size, _ in samples) / count if count else 0.0,
+        "corrupt_quorum_rate": corrupt_hits / count if count else 0.0,
+        "honest_miss_rate": honest_misses / count if count else 0.0,
+        "threshold": threshold,
+    }
+    return samples, metrics
+
+
+EXECUTORS: Dict[str, Executor] = {
+    "trials": Executor(_execute_trials),
+    "per-seed": Executor(_execute_per_seed),
+    "theorem4": Executor(_execute_theorem4, folds_params=False),
+    "theorem4-census": Executor(_execute_theorem4_census,
+                                folds_params=False),
+    "dolev-reischuk": Executor(_execute_dolev_reischuk, folds_params=False,
+                               single_seed=True),
+    "hypothetical": Executor(
+        _execute_hypothetical, needs_protocol=False, needs_f=False,
+        single_seed=True),
+    "committee-census": Executor(_execute_committee_census,
+                                 needs_protocol=False),
+}
+
+
+# ---------------------------------------------------------------------------
+# Results and artifacts.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CellResult:
+    """One executed cell: the raw payload plus its flat metrics row.
+
+    ``payload`` keeps the executor's native result (a
+    :class:`TrialStats`, an attack report, per-seed records) so table
+    code can reach per-trial data; ``metrics`` holds only scalars and is
+    what artifacts serialize.
+    """
+
+    cell: Cell
+    payload: Any
+    metrics: Dict[str, Any]
+
+    @property
+    def stats(self) -> TrialStats:
+        if not isinstance(self.payload, TrialStats):
+            raise TypeError(
+                f"cell {self.cell.label()!r} ran executor "
+                f"{self.cell.executor!r}, which has no TrialStats payload")
+        return self.payload
+
+    def row(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {
+            "scenario": self.cell.scenario,
+            "protocol": self.cell.protocol,
+            "executor": self.cell.executor,
+        }
+        for key, value in self.cell.bindings:
+            if _is_scalar(value):
+                row[key] = value
+        row["seeds"] = len(self.cell.seeds)
+        for key, value in self.metrics.items():
+            if _is_scalar(value):
+                row[key] = value
+        return row
+
+
+@dataclass
+class SweepResult:
+    """All cells of one sweep, with table rendering and artifact export."""
+
+    name: str
+    cells: List[CellResult]
+    lottery: Optional[Dict[str, Any]] = None
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Flat, JSON-safe rows — one per cell, deterministic order."""
+        return [cell.row() for cell in self.cells]
+
+    def scenario(self, name: str) -> List[CellResult]:
+        """The executed cells of one scenario, in grid order."""
+        return [cell for cell in self.cells if cell.cell.scenario == name]
+
+    def to_table(self, title: Optional[str] = None) -> Table:
+        """Render the rows as an aligned table (union of row columns)."""
+        rows = self.rows()
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        table = Table(title or f"sweep {self.name}", columns)
+        for row in rows:
+            table.add_row(*(row.get(column, "-") for column in columns))
+        return table
+
+    def to_json(self, path) -> Path:
+        path = Path(path)
+        payload = {
+            "sweep": self.name,
+            "rows": self.rows(),
+            "lottery": self.lottery,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def to_csv(self, path) -> Path:
+        path = Path(path)
+        rows = self.rows()
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns,
+                                    restval="")
+            writer.writeheader()
+            writer.writerows(rows)
+        return path
+
+    @staticmethod
+    def load_rows(path) -> List[Dict[str, Any]]:
+        """Rows back out of a :meth:`to_json` artifact (round-trip)."""
+        payload = json.loads(Path(path).read_text())
+        return payload["rows"]
+
+
+_SWEEP_IDS = itertools.count()
+
+
+def run_sweep(sweep: SweepSpec, workers: int = 1,
+              share_lottery: bool = True) -> SweepResult:
+    """Expand and execute every cell of ``sweep``.
+
+    ``workers > 1`` fans each cell's seeds across processes via
+    :func:`run_trials`; cells themselves run in order, so results are
+    deterministic for any worker count.  ``share_lottery`` installs a
+    per-sweep :class:`SharedLotteryCache` so ideal-world eligibility
+    coins are computed once per ``(seed, node, topic)`` across all cells
+    that share them (identical coins either way — the cache memoizes a
+    pure function).
+    """
+    cache: Optional[SharedLotteryCache] = None
+    if share_lottery:
+        cache = SharedLotteryCache(
+            token=f"sweep-{sweep.name}-{next(_SWEEP_IDS)}")
+    pool = None
+    if workers > 1:
+        # One pool for the whole sweep: worker processes persist across
+        # cells, so the per-worker lottery caches (rebound from the
+        # pickled token) accumulate coins cell over cell instead of
+        # dying with a per-cell pool.
+        from concurrent.futures import ProcessPoolExecutor
+        pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        results = []
+        for cell in sweep.expand():
+            payload, metrics = EXECUTORS[cell.executor].run(
+                cell, workers, cache, pool=pool)
+            results.append(CellResult(cell=cell, payload=payload,
+                                      metrics=metrics))
+        lottery = None
+        if cache is not None:
+            # Counters are process-local: with a worker pool the coins
+            # are drawn inside the workers, so say so in the artifact
+            # rather than persisting misleading zeros.
+            lottery = dict(cache.stats())
+            lottery["scope"] = ("main-process counters only; coins were "
+                                "drawn in worker processes"
+                                if pool is not None else "main process")
+        return SweepResult(
+            name=sweep.name, cells=results, lottery=lottery)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+        if cache is not None:
+            release_cache(cache.token)

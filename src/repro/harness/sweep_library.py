@@ -1,0 +1,128 @@
+"""Named, ready-to-run sweeps for ``python -m repro sweep``.
+
+Each entry is a :class:`~repro.harness.scenarios.SweepSpec` the paper
+motivates directly:
+
+- ``comm-vs-n`` — the headline scaling claim (Theorem 2): honest
+  communication versus ``n`` for the subquadratic protocol against the
+  quadratic BA and the static-committee baseline.  The subquadratic
+  rows stay flat in multicasts as ``n`` quadruples; the quadratic rows
+  grow linearly in multicasts (quadratically in classical messages).
+- ``adversary-grid`` — adaptive-versus-static robustness (Section 1's
+  motivating distinction): the subquadratic BA under no faults, crashes,
+  static equivocation, and the adaptive speaker-corrupting adversary,
+  across two system sizes.  Cells share ``(n, λ, seed)``, so the shared
+  eligibility-lottery cache serves most coins from memory after the
+  first adversary's run.
+- ``resilience-frontier`` — corruption fractions approaching the
+  ``(1/2 - ε) n`` bound (Theorem 17) at two committee sizes λ, showing
+  the concrete-parameter failure envelope the Chernoff lemmas predict.
+- ``smoke`` — a seconds-scale miniature of ``adversary-grid`` used by CI
+  and the test suite.
+
+Run one with::
+
+    PYTHONPATH=src python -m repro sweep comm-vs-n --workers 4
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.harness.scenarios import ScenarioSpec, SweepSpec, f_half_minus_one
+
+
+COMM_VS_N = SweepSpec(
+    name="comm-vs-n",
+    description="Honest communication vs n: subquadratic stays flat, "
+                "quadratic grows, static-committee is cheap but "
+                "adaptively insecure (Theorem 2 / Section 1).",
+    scenarios=(
+        ScenarioSpec(
+            name="subquadratic",
+            protocol="subquadratic",
+            grid={"n": (64, 128, 256, 512)},
+            fixed={"f_fraction": 0.3, "lam": 24, "epsilon": 0.15},
+            inputs="ones",
+            adversary="crash",
+            seeds=range(3),
+        ),
+        ScenarioSpec(
+            name="quadratic",
+            protocol="quadratic",
+            grid={"n": (16, 32, 64, 96)},
+            fixed={"f": f_half_minus_one},
+            inputs="ones",
+            adversary="crash",
+            seeds=range(3),
+        ),
+        ScenarioSpec(
+            name="static-committee",
+            protocol="static-committee",
+            grid={"n": (64, 128, 256, 512)},
+            fixed={"f_fraction": 0.25},
+            inputs="ones",
+            seeds=range(3),
+        ),
+    ),
+)
+
+ADVERSARY_GRID = SweepSpec(
+    name="adversary-grid",
+    description="Subquadratic BA under static vs adaptive adversaries "
+                "(crash, equivocation, speaker-corruption) across sizes; "
+                "cells share one eligibility lottery per (n, λ, seed).",
+    scenarios=(
+        ScenarioSpec(
+            name="subquadratic",
+            protocol="subquadratic",
+            grid={
+                "adversary": ("none", "crash", "equivocate", "speaker"),
+                "n": (100, 200),
+            },
+            fixed={"f_fraction": 0.25, "lam": 30, "epsilon": 0.1},
+            inputs="mixed",
+            seeds=range(3),
+        ),
+    ),
+)
+
+RESILIENCE_FRONTIER = SweepSpec(
+    name="resilience-frontier",
+    description="Security rates as f/n approaches 1/2 under static "
+                "equivocation, at two committee sizes (Theorem 17).",
+    scenarios=(
+        ScenarioSpec(
+            name="subquadratic",
+            protocol="subquadratic",
+            grid={
+                "lam": (24, 40),
+                "f_fraction": (0.1, 0.25, 0.4, 0.45),
+            },
+            fixed={"n": 160, "epsilon": 0.05},
+            inputs="ones",
+            adversary="equivocate",
+            seeds=range(4),
+        ),
+    ),
+)
+
+SMOKE = SweepSpec(
+    name="smoke",
+    description="Seconds-scale adversary grid for CI and tests.",
+    scenarios=(
+        ScenarioSpec(
+            name="subquadratic",
+            protocol="subquadratic",
+            grid={"adversary": ("none", "crash")},
+            fixed={"n": 32, "f_fraction": 0.25, "lam": 12},
+            inputs="mixed",
+            seeds=range(2),
+        ),
+    ),
+)
+
+SWEEPS: Dict[str, SweepSpec] = {
+    sweep.name: sweep
+    for sweep in (COMM_VS_N, ADVERSARY_GRID, RESILIENCE_FRONTIER, SMOKE)
+}

@@ -49,11 +49,14 @@ def build_phase_king_subquadratic(
     mode: str = FMINE_MODE,
     group: SchnorrGroup = TEST_GROUP,
     eligibility=None,
+    coin_cache=None,
 ) -> ProtocolInstance:
     """The compiled phase-king protocol, tolerating ``(1/3 - ε) n``.
 
     A pre-built ``eligibility`` source may be supplied (the Theorem 3
-    experiment shares one random-oracle-style lottery across executions).
+    experiment shares one random-oracle-style lottery across executions);
+    ``coin_cache`` shares the ideal lottery's coins across instances (see
+    :func:`~repro.protocols.subquadratic_ba.make_eligibility`).
     """
     if len(inputs) != n:
         raise ConfigurationError("need exactly one input bit per node")
@@ -61,7 +64,8 @@ def build_phase_king_subquadratic(
         raise ConfigurationError(
             f"phase-king requires f < n/3: n={n}, f={f}")
     if eligibility is None:
-        eligibility = make_eligibility(n, params, seed, mode, group)
+        eligibility = make_eligibility(n, params, seed, mode, group,
+                                       coin_cache=coin_cache)
     config = PhaseKingConfig(
         threshold=ack_threshold(params),
         authenticator=EligibilityAuthenticator(eligibility),

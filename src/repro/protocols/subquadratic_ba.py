@@ -49,15 +49,21 @@ def committee_threshold(params: SecurityParameters) -> int:
 
 def make_eligibility(n: int, params: SecurityParameters, seed: Seed,
                      mode: str = FMINE_MODE,
-                     group: SchnorrGroup = TEST_GROUP) -> EligibilitySource:
+                     group: SchnorrGroup = TEST_GROUP,
+                     coin_cache=None) -> EligibilitySource:
     """The eligibility source for the requested world.
 
     ``fmine`` is the hybrid world of Appendix C (fast, ideal);
     ``vrf`` is the compiled real world of Appendix D (real proofs).
+    ``coin_cache`` (a :class:`~repro.eligibility.lottery_cache.\
+SharedLotteryCache`) shares the ideal lottery's coins across instances
+    built with the same seed and schedule; it is ignored in ``vrf`` mode,
+    whose NIZK proofs consume prover randomness in call order and so
+    cannot be shared without changing proof bytes.
     """
     schedule = DifficultySchedule.for_parameters(params, n)
     if mode == FMINE_MODE:
-        return FMineEligibility(n, schedule, seed)
+        return FMineEligibility(n, schedule, seed, coin_cache=coin_cache)
     if mode == VRF_MODE:
         return VrfEligibility(n, schedule, seed, group)
     raise ConfigurationError(f"unknown eligibility mode {mode!r}")
@@ -73,6 +79,7 @@ def build_subquadratic_ba(
     mode: str = FMINE_MODE,
     group: SchnorrGroup = TEST_GROUP,
     eligibility: EligibilitySource = None,
+    coin_cache=None,
 ) -> ProtocolInstance:
     """Construct a subquadratic-BA execution over ``n`` nodes.
 
@@ -80,7 +87,9 @@ def build_subquadratic_ba(
     the builder enforces only the hard bound ``n > 2f`` and leaves
     resilience sweeps free to exercise the boundary.  A pre-built
     ``eligibility`` source may be supplied (the Theorem 3 experiment uses
-    this to share one random-oracle-style lottery across executions).
+    this to share one random-oracle-style lottery across executions);
+    ``coin_cache`` shares the ideal lottery's coins across instances (see
+    :func:`make_eligibility`).
     """
     if len(inputs) != n:
         raise ConfigurationError("need exactly one input bit per node")
@@ -88,7 +97,8 @@ def build_subquadratic_ba(
         raise ConfigurationError(
             f"subquadratic BA requires honest majority: n={n} > 2f={2 * f}")
     if eligibility is None:
-        eligibility = make_eligibility(n, params, seed, mode, group)
+        eligibility = make_eligibility(n, params, seed, mode, group,
+                                       coin_cache=coin_cache)
     authenticator = EligibilityAuthenticator(eligibility)
     config = AbaConfig(
         threshold=committee_threshold(params),
