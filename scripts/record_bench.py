@@ -58,6 +58,50 @@ def profile_quadratic(n: int, f: int, seed: int = 1) -> dict:
     }
 
 
+def profile_network_fast_path(n: int = 96, f: int = 47, seed: int = 1) -> dict:
+    """Prove the perfect-synchrony fast path did not regress.
+
+    Runs the same quadratic-BA profile twice — once with ``conditions``
+    unset and once with explicit ``NetworkConditions.perfect()`` — and
+    asserts the executions are identical (same transcript, metrics, and
+    outputs: the engine must normalize perfect conditions to the plain
+    ``SynchronousNetwork`` loop).  A conditioned WAN run is recorded
+    alongside for the cost of the partial-synchrony axis.
+    """
+    from repro.harness import run_instance
+    from repro.sim.conditions import NETWORKS, NetworkConditions
+
+    def timed_run(conditions):
+        instance = build_quadratic_ba(
+            n, f, [i % 2 for i in range(n)], seed=seed)
+        start = time.perf_counter()
+        result = run_instance(instance, f, seed=seed, conditions=conditions)
+        return result, time.perf_counter() - start
+
+    plain, plain_wall = timed_run(None)
+    perfect, perfect_wall = timed_run(NetworkConditions.perfect())
+    assert perfect.network_stats is None, \
+        "perfect conditions must use the unconditioned fast path"
+    assert plain.outputs == perfect.outputs \
+        and plain.rounds_executed == perfect.rounds_executed \
+        and plain.transcript == perfect.transcript \
+        and plain.metrics == perfect.metrics, \
+        "perfect-synchrony results diverged from the unconditioned run"
+    wan, wan_wall = timed_run(NETWORKS["wan"])
+    return {
+        "n": n,
+        "f": f,
+        "seed": seed,
+        "fast_path_identical": True,
+        "wall_seconds_unconditioned": round(plain_wall, 4),
+        "wall_seconds_perfect_conditions": round(perfect_wall, 4),
+        "wall_seconds_wan_conditions": round(wan_wall, 4),
+        "wan_mean_delivery_latency": round(
+            wan.network_stats.mean_delivery_latency, 4),
+        "wan_max_in_flight": wan.network_stats.max_in_flight,
+    }
+
+
 def profile_sweep(name: str = "adversary-grid") -> dict:
     """One named sweep, with and without the shared lottery cache."""
     from repro.harness.scenarios import run_sweep
@@ -92,6 +136,7 @@ def main() -> None:
         "quadratic-ba-n96": profile_quadratic(96, 47),
         "quadratic-ba-n192": profile_quadratic(192, 95),
         "sweep-adversary-grid": profile_sweep("adversary-grid"),
+        "network-fast-path-n96": profile_network_fast_path(96, 47),
     }
     for name, profile in profiles.items():
         baseline = SEED_BASELINE.get(name, {})
@@ -117,6 +162,12 @@ def main() -> None:
                   f"unshared), {profile['lottery_hits']}/"
                   f"{profile['lottery_coins'] + profile['lottery_hits']} "
                   f"flips served from cache")
+        elif "fast_path_identical" in profile:
+            print(f"  {name}: perfect-conditions run identical to "
+                  f"unconditioned ({profile['wall_seconds_perfect_conditions']}s"
+                  f" vs {profile['wall_seconds_unconditioned']}s); "
+                  f"wan run {profile['wall_seconds_wan_conditions']}s at "
+                  f"latency {profile['wan_mean_delivery_latency']}")
         else:
             print(f"  {name}: {profile['wall_seconds']}s wall, "
                   f"{profile['authenticator_check_calls']} check calls, "

@@ -20,6 +20,9 @@ executable adversary here:
   the corrupted senders keep behaving honestly towards everyone else.
 - :mod:`repro.adversaries.leader_killer` — corrupts each announced oracle
   leader before it proposes (round-complexity degradation, not safety).
+- :mod:`repro.adversaries.network_scheduler` — the partial-synchrony
+  scheduler: delays honest traffic to the Δ deadline (maximal reordering
+  at zero corruption cost; only exists under network conditions).
 """
 
 from repro.adversaries.sandbox import SandboxRunner
@@ -30,6 +33,7 @@ from repro.adversaries.adaptive_committee import CommitteeTakeoverAdversary
 from repro.adversaries.equivocation import AckEquivocationAdversary
 from repro.adversaries.strongly_adaptive import IsolationAdversary
 from repro.adversaries.leader_killer import LeaderKillerAdversary
+from repro.adversaries.network_scheduler import DelayAdversary
 from repro.adversaries.view_split import ViewSplitAdversary
 
 __all__ = [
@@ -41,5 +45,6 @@ __all__ = [
     "AckEquivocationAdversary",
     "IsolationAdversary",
     "LeaderKillerAdversary",
+    "DelayAdversary",
     "ViewSplitAdversary",
 ]

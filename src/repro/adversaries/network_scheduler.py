@@ -1,0 +1,65 @@
+"""The partial-synchrony scheduler: delay and reorder honest traffic.
+
+Under partial synchrony the adversary's cheapest lever is not corruption
+but *timing*: it may hold any message back — honest senders included —
+as long as post-GST delivery still happens within Δ rounds of sending
+(the network clamp in :class:`~repro.sim.conditions.ConditionedNetwork`
+enforces the bound, so no strategy expressed through this hook can
+exceed the model).  This adversary pushes that lever as hard as the
+model allows: every targeted copy is shoved to the Δ deadline, which
+maximally reorders traffic across the window without costing a single
+corruption.
+
+The Δ-bounded property suite runs protocols against this adversary to
+check the synchronizer argument end-to-end: with protocol steps dilated
+by Δ, even a worst-case Δ-bounded schedule cannot break agreement or
+validity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.rng import Seed, derive_rng
+from repro.sim.adversary import Adversary
+from repro.sim.network import Envelope
+from repro.types import Round
+
+
+class DelayAdversary(Adversary):
+    """Delays (a fraction of) honest in-flight copies up to the Δ bound.
+
+    ``rounds=None`` requests the maximum (Δ; the network clamps there
+    post-GST anyway).  ``fraction < 1`` delays a seeded-random subset of
+    copies instead of all of them, which *reorders* traffic: delayed and
+    undelayed copies from the same multicast arrive rounds apart.  A
+    no-op under perfect synchrony, so the same scenario grid can sweep
+    the ``network`` axis across ``perfect`` and conditioned cells.
+    """
+
+    name = "delay"
+
+    def __init__(self, rounds: Optional[int] = None, fraction: float = 1.0,
+                 seed: Seed = 0) -> None:
+        super().__init__()
+        if rounds is not None and rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        self.rounds = rounds
+        self.fraction = fraction
+        self._rng = derive_rng(seed, "delay-adversary")
+        self.delayed_envelopes = 0
+
+    def react(self, round_index: Round, staged: List[Envelope]) -> None:
+        api = self.api
+        if not api.can_delay:
+            return
+        rounds = self.rounds if self.rounds is not None else api.delta
+        for envelope in staged:
+            if not envelope.honest_sender:
+                continue
+            if self.fraction < 1.0 and self._rng.random() >= self.fraction:
+                continue
+            api.delay(envelope, rounds=rounds)
+            self.delayed_envelopes += 1

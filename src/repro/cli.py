@@ -12,10 +12,12 @@ artifacts (see ``docs/SCENARIOS.md``)::
 
     python -m repro sweep comm-vs-n --workers 4 --out-dir artifacts
 
-``run`` — execute one protocol instance and print its result summary::
+``run`` — execute one protocol instance and print its result summary,
+optionally under named partial-synchrony network conditions (see
+``docs/NETWORK.md``)::
 
     python -m repro run --protocol subquadratic -n 300 -f 90 \\
-        --adversary crash --input mixed --seed 7
+        --adversary crash --input mixed --seed 7 --network wan
 
 ``params`` — concrete parameter selection (the λ = ω(log κ) inversion)::
 
@@ -44,6 +46,7 @@ from repro.protocols import (
     build_static_committee,
     build_subquadratic_ba,
 )
+from repro.sim.conditions import NETWORKS
 from repro.sim.trace import summarize_transcript
 from repro.types import SecurityParameters
 
@@ -91,6 +94,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--out-dir", default=None,
                        help="write <name>.csv and <name>.json artifacts "
                             "into this directory")
+    sweep.add_argument("--network", choices=sorted(NETWORKS), default=None,
+                       help="force these network conditions onto every "
+                            "scenario of the sweep (overrides any "
+                            "network bindings; see docs/NETWORK.md)")
 
     run = sub.add_parser("run", help="run one protocol execution")
     run.add_argument("--protocol", choices=sorted(PROTOCOLS),
@@ -106,6 +113,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="expected committee size λ")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--mode", choices=["fmine", "vrf"], default="fmine")
+    run.add_argument("--network", choices=sorted(NETWORKS), default="perfect",
+                     help="named network conditions for the execution "
+                          "(see docs/NETWORK.md)")
 
     par = sub.add_parser("params", help="choose λ for a target error")
     par.add_argument("-n", type=int, required=True)
@@ -148,7 +158,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"sweep: unknown sweep {args.name!r} "
               f"(have: {', '.join(sorted(SWEEPS))})", file=sys.stderr)
         return 2
-    result = run_sweep(SWEEPS[args.name], workers=args.workers,
+    sweep = SWEEPS[args.name]
+    if args.network is not None:
+        # Force the conditions onto every scenario: fixed bindings are
+        # overridden by grid axes of the same name, so drop any
+        # ``network`` grid axis rather than silently losing the flag.
+        import dataclasses as _dataclasses
+        sweep = _dataclasses.replace(sweep, scenarios=tuple(
+            _dataclasses.replace(
+                scenario,
+                grid={axis: values for axis, values in scenario.grid.items()
+                      if axis != "network"},
+                fixed={**scenario.fixed, "network": args.network})
+            for scenario in sweep.scenarios))
+    result = run_sweep(sweep, workers=args.workers,
                        share_lottery=not args.no_shared_lottery)
     print(result.to_table().render())
     if result.lottery is not None:
@@ -176,10 +199,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         kwargs.update(params=params, mode=args.mode)
     instance = builder(**kwargs)
     adversary = ADVERSARIES[args.adversary](instance)
-    result = run_instance(instance, f, adversary, seed=args.seed)
+    conditions = NETWORKS[args.network]
+    result = run_instance(instance, f, adversary, seed=args.seed,
+                          conditions=conditions)
     trace = summarize_transcript(result.require_transcript())
     print(f"protocol:            {instance.name}")
     print(f"n / f:               {n} / {f}  (adversary: {args.adversary})")
+    if result.network_stats is not None:
+        stats = result.network_stats
+        print(f"network:             {args.network} "
+              f"({conditions.describe()})")
+        print(f"mean copy latency:   "
+              f"{stats.mean_delivery_latency:.2f} network rounds")
+        print(f"peak in flight:      {stats.max_in_flight} copies")
+        if stats.dropped_copies:
+            print(f"dropped copies:      {stats.dropped_copies}")
     print(f"consistent:          {result.consistent()}")
     print(f"valid:               {result.agreement_valid()}")
     print(f"all decided:         {result.all_decided()}")

@@ -13,6 +13,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.protocols.base import ProtocolInstance
 from repro.sim.adversary import Adversary
+from repro.sim.conditions import NetworkConditions, NetworkStats
 from repro.sim.engine import TRANSCRIPT_FULL, Simulation
 from repro.sim.result import ExecutionResult
 from repro.types import AdversaryModel
@@ -29,6 +30,7 @@ def run_instance(
     seed=0,
     max_rounds: Optional[int] = None,
     transcript_retention: str = TRANSCRIPT_FULL,
+    conditions: Optional[NetworkConditions] = None,
 ) -> ExecutionResult:
     """Execute one protocol instance against one adversary."""
     simulation = Simulation(
@@ -42,6 +44,7 @@ def run_instance(
         signing_capabilities=instance.signing_capabilities,
         mining_capabilities=instance.mining_capabilities,
         transcript_retention=transcript_retention,
+        conditions=conditions,
     )
     return simulation.run()
 
@@ -67,6 +70,8 @@ class TrialStats:
         self._rounds = 0
         self._corruptions = 0
         self._max_message_bits = 0
+        self._network_trials = 0
+        self._network = NetworkStats()
         for result in results or []:
             self.add(result)
 
@@ -89,6 +94,10 @@ class TrialStats:
         self._corruptions += result.corruptions_used
         self._max_message_bits = max(self._max_message_bits,
                                      result.metrics.max_message_bits)
+        network = result.network_stats
+        if network is not None:
+            self._network_trials += 1
+            self._network.accumulate(network)
 
     @property
     def trials(self) -> int:
@@ -131,6 +140,34 @@ class TrialStats:
         """Largest single message seen across all trials."""
         return self._max_message_bits
 
+    # -- network-conditions aggregates (conditioned executions only) --------
+    @property
+    def has_network_stats(self) -> bool:
+        """Whether any trial ran under nontrivial network conditions."""
+        return self._network_trials > 0
+
+    @property
+    def network(self) -> NetworkStats:
+        """All conditioned trials folded into one :class:`NetworkStats`
+        (sums; peak for ``max_in_flight``)."""
+        return self._network
+
+    @property
+    def mean_delivery_latency(self) -> float:
+        """Effective round latency: mean copy delay in network rounds,
+        across every delivered copy of every conditioned trial."""
+        return self._network.mean_delivery_latency
+
+    @property
+    def max_in_flight(self) -> int:
+        """Peak scheduled-but-undelivered copies across conditioned trials."""
+        return self._network.max_in_flight
+
+    @property
+    def dropped_copies(self) -> int:
+        """Total pre-GST copy drops across conditioned trials."""
+        return self._network.dropped_copies
+
     def decision_rounds(self) -> List[int]:
         rounds: List[int] = []
         for result in self._results:
@@ -145,6 +182,7 @@ def _run_one_trial(
     adversary_factory: Optional[AdversaryFactory],
     model: AdversaryModel,
     transcript_retention: str,
+    conditions: Optional[NetworkConditions],
     builder_kwargs: dict,
 ) -> ExecutionResult:
     """One seed's build-and-run; module-level so worker processes can
@@ -153,7 +191,8 @@ def _run_one_trial(
     adversary = (adversary_factory(instance)
                  if adversary_factory is not None else None)
     return run_instance(instance, f, adversary, model, seed=seed,
-                        transcript_retention=transcript_retention)
+                        transcript_retention=transcript_retention,
+                        conditions=conditions)
 
 
 def run_trials(
@@ -164,6 +203,7 @@ def run_trials(
     model: AdversaryModel = AdversaryModel.ADAPTIVE,
     workers: int = 1,
     transcript_retention: str = TRANSCRIPT_FULL,
+    conditions: Optional[NetworkConditions] = None,
     pool=None,
     **builder_kwargs,
 ) -> TrialStats:
@@ -196,7 +236,7 @@ def run_trials(
             futures = [
                 owned.submit(_run_one_trial, builder, f, seed,
                              adversary_factory, model, transcript_retention,
-                             builder_kwargs)
+                             conditions, builder_kwargs)
                 for seed in seeds
             ]
             for future in futures:
@@ -205,7 +245,7 @@ def run_trials(
         futures = [
             pool.submit(_run_one_trial, builder, f, seed,
                         adversary_factory, model, transcript_retention,
-                        builder_kwargs)
+                        conditions, builder_kwargs)
             for seed in seeds
         ]
         for future in futures:
@@ -214,5 +254,5 @@ def run_trials(
         for seed in seeds:
             stats.add(_run_one_trial(builder, f, seed, adversary_factory,
                                      model, transcript_retention,
-                                     builder_kwargs))
+                                     conditions, builder_kwargs))
     return stats

@@ -27,6 +27,9 @@ through to the builder):
 ``epsilon``      resilience slack for the same ``SecurityParameters``
 ``adversary``    per-cell adversary key (usable as a grid axis)
 ``inputs``       per-cell input-distribution key (usable as a grid axis)
+``network``      per-cell network conditions (usable as a grid axis): a
+                 :data:`~repro.sim.conditions.NETWORKS` preset name or a
+                 :class:`~repro.sim.conditions.NetworkConditions` value
 
 Determinism: cells expand in scenario order then row-major grid order,
 trials aggregate in seed order for any worker count, and the shared
@@ -59,12 +62,14 @@ from repro.adversaries import (
     AckEquivocationAdversary,
     AdaptiveSpeakerAdversary,
     CrashAdversary,
+    DelayAdversary,
     StaticEquivocationAdversary,
 )
 from repro.eligibility.lottery_cache import SharedLotteryCache, release_cache
 from repro.errors import ConfigurationError
 from repro.harness.runner import TrialStats, run_instance, run_trials
 from repro.harness.tables import Table
+from repro.sim.conditions import NETWORKS, NetworkConditions
 from repro.protocols import (
     build_broadcast_from_ba,
     build_dolev_strong,
@@ -126,9 +131,14 @@ def _crash_adversary(instance, **kwargs):
     return CrashAdversary(**kwargs)
 
 
+def _delay_adversary(instance, **kwargs):
+    return DelayAdversary(**kwargs)
+
+
 ADVERSARIES: Dict[str, Callable[..., Any]] = {
     "none": _no_adversary,
     "crash": _crash_adversary,
+    "delay": _delay_adversary,
     "equivocate": StaticEquivocationAdversary,
     "ack-equivocate": AckEquivocationAdversary,
     "speaker": AdaptiveSpeakerAdversary,
@@ -181,7 +191,8 @@ class AdversaryFactorySpec:
 
 #: Bindings resolved by the layer rather than passed to the builder.
 RESERVED_BINDINGS = frozenset(
-    {"n", "f", "f_fraction", "lam", "epsilon", "adversary", "inputs"})
+    {"n", "f", "f_fraction", "lam", "epsilon", "adversary", "inputs",
+     "network"})
 
 
 @dataclass(frozen=True)
@@ -254,6 +265,8 @@ class Cell:
     adversary: Optional[str]
     adversary_kwargs: Tuple[Tuple[str, Any], ...]
     inputs: Optional[str]
+    #: Resolved network conditions (None = perfect synchrony).
+    network: Optional[NetworkConditions]
     n: Optional[int]
     f: Optional[int]
     seeds: Tuple[Any, ...]
@@ -315,6 +328,30 @@ def _bind_cell(spec: ScenarioSpec, raw: Dict[str, Any]) -> Cell:
         raise ConfigurationError(
             f"unknown input distribution {inputs_key!r} "
             f"(have {sorted(INPUTS)})")
+    network_binding = raw.pop("network", None)
+    network: Optional[NetworkConditions] = None
+    network_label: Optional[str] = None
+    if isinstance(network_binding, str):
+        if network_binding not in NETWORKS:
+            raise ConfigurationError(
+                f"unknown network conditions {network_binding!r} "
+                f"(have {sorted(NETWORKS)})")
+        network = NETWORKS[network_binding]
+        network_label = network_binding
+    elif isinstance(network_binding, NetworkConditions):
+        network = network_binding
+        network_label = network.describe()
+    elif network_binding is not None:
+        raise ConfigurationError(
+            f"network binding must be a NETWORKS name or a "
+            f"NetworkConditions, got {network_binding!r}")
+    if network is not None and network.is_perfect:
+        network = None  # the engine's fast path; keep the label for rows
+    if network is not None and not executor.supports_network:
+        raise ConfigurationError(
+            f"scenario {spec.name!r}: executor {spec.executor!r} does not "
+            "support network conditions (attack harnesses drive the "
+            "lock-step network directly)")
 
     n = raw.get("n")
     f = _resolve_f(raw, n)
@@ -394,6 +431,8 @@ def _bind_cell(spec: ScenarioSpec, raw: Dict[str, Any]) -> Cell:
         _record("adversary", adversary)
     if inputs_key is not None:
         _record("inputs", inputs_key)
+    if network_label is not None:
+        _record("network", network_label)
 
     return Cell(
         scenario=spec.name,
@@ -402,6 +441,7 @@ def _bind_cell(spec: ScenarioSpec, raw: Dict[str, Any]) -> Cell:
         adversary=adversary,
         adversary_kwargs=tuple(sorted(spec.adversary_kwargs.items())),
         inputs=inputs_key,
+        network=network,
         n=n,
         f=f,
         seeds=tuple(spec.seeds),
@@ -430,6 +470,10 @@ class Executor:
     #: Executors that run exactly one seed; multi-seed specs are
     #: rejected rather than silently truncated to ``seeds[0]``.
     single_seed: bool = False
+    #: Whether the executor honors a ``network`` binding (the protocol
+    #: executors do; the attack harnesses drive the lock-step network
+    #: directly and reject one rather than silently ignoring it).
+    supports_network: bool = False
 
 
 def _is_scalar(value: Any) -> bool:
@@ -437,7 +481,7 @@ def _is_scalar(value: Any) -> bool:
 
 
 def _stats_metrics(stats: TrialStats) -> Dict[str, Any]:
-    return {
+    metrics = {
         "trials": stats.trials,
         "consistency_rate": stats.consistency_rate,
         "validity_rate": stats.validity_rate,
@@ -449,6 +493,13 @@ def _stats_metrics(stats: TrialStats) -> Dict[str, Any]:
         "mean_corruptions": stats.mean_corruptions,
         "max_message_bits": stats.max_message_bits,
     }
+    # Network-axis columns only for conditioned cells, so sweeps that
+    # never leave perfect synchrony keep byte-identical artifacts.
+    if stats.has_network_stats:
+        metrics["mean_delivery_latency"] = stats.mean_delivery_latency
+        metrics["max_in_flight"] = stats.max_in_flight
+        metrics["dropped_copies"] = stats.dropped_copies
+    return metrics
 
 
 def _report_metrics(report: Any) -> Dict[str, Any]:
@@ -488,6 +539,7 @@ def _execute_trials(cell: Cell, workers: int,
         seeds=cell.seeds,
         adversary_factory=_adversary_factory(cell),
         workers=workers,
+        conditions=cell.network,
         pool=pool,
         **_cell_trial_kwargs(cell, coin_cache),
     )
@@ -512,7 +564,8 @@ def _execute_per_seed(cell: Cell, workers: int,
     for seed in cell.seeds:
         instance = builder(f=cell.f, seed=seed, **kwargs)
         adversary = factory(instance) if factory is not None else None
-        result = run_instance(instance, cell.f, adversary, seed=seed)
+        result = run_instance(instance, cell.f, adversary, seed=seed,
+                              conditions=cell.network)
         records.append((result, adversary))
         stats.add(result)
     return records, _stats_metrics(stats)
@@ -606,8 +659,8 @@ def _execute_committee_census(cell: Cell, workers: int,
 
 
 EXECUTORS: Dict[str, Executor] = {
-    "trials": Executor(_execute_trials),
-    "per-seed": Executor(_execute_per_seed),
+    "trials": Executor(_execute_trials, supports_network=True),
+    "per-seed": Executor(_execute_per_seed, supports_network=True),
     "theorem4": Executor(_execute_theorem4, folds_params=False),
     "theorem4-census": Executor(_execute_theorem4_census,
                                 folds_params=False),

@@ -17,6 +17,14 @@ motivates directly:
 - ``resilience-frontier`` — corruption fractions approaching the
   ``(1/2 - ε) n`` bound (Theorem 17) at two committee sizes λ, showing
   the concrete-parameter failure envelope the Chernoff lemmas predict.
+- ``latency-stress`` — the partial-synchrony axis (``docs/NETWORK.md``):
+  subquadratic and quadratic BA swept across network conditions from
+  lock-step to WAN jitter, plus the Δ-deadline delay scheduler, showing
+  how effective round latency and messages-in-flight grow while the
+  security rates stay flat (the synchronizer argument, executable).
+- ``partition-heal`` — scheduled split-brain windows that heal, with and
+  without a lossy asynchronous prelude: deferred cross-partition traffic
+  floods in at the heal and the protocols still decide.
 - ``smoke`` — a seconds-scale miniature of ``adversary-grid`` used by CI
   and the test suite.
 
@@ -107,6 +115,66 @@ RESILIENCE_FRONTIER = SweepSpec(
     ),
 )
 
+LATENCY_STRESS = SweepSpec(
+    name="latency-stress",
+    description="Protocols under partial synchrony: perfect vs LAN vs WAN "
+                "latency, plus the Δ-deadline delay scheduler "
+                "(docs/NETWORK.md).",
+    scenarios=(
+        ScenarioSpec(
+            name="subquadratic",
+            protocol="subquadratic",
+            grid={"network": ("perfect", "lan", "wan")},
+            fixed={"n": 48, "f_fraction": 0.25, "lam": 16, "epsilon": 0.1},
+            inputs="mixed",
+            seeds=range(3),
+        ),
+        ScenarioSpec(
+            name="quadratic",
+            protocol="quadratic",
+            grid={"network": ("perfect", "lan", "wan")},
+            fixed={"n": 24, "f": f_half_minus_one},
+            inputs="ones",
+            adversary="crash",
+            seeds=range(3),
+        ),
+        ScenarioSpec(
+            name="delay-scheduler",
+            protocol="quadratic",
+            grid={"network": ("lan", "wan")},
+            fixed={"n": 24, "f": 5},
+            inputs="mixed",
+            adversary="delay",
+            seeds=range(3),
+        ),
+    ),
+)
+
+PARTITION_HEAL = SweepSpec(
+    name="partition-heal",
+    description="Scheduled split-brain that heals (and a lossy prelude): "
+                "deferred traffic floods in at the heal, decisions still "
+                "land (docs/NETWORK.md).",
+    scenarios=(
+        ScenarioSpec(
+            name="quadratic",
+            protocol="quadratic",
+            grid={"network": ("perfect", "split-heal", "lossy")},
+            fixed={"n": 24, "f": 5},
+            inputs="mixed",
+            seeds=range(3),
+        ),
+        ScenarioSpec(
+            name="phase-king",
+            protocol="phase-king",
+            grid={"network": ("perfect", "split-heal")},
+            fixed={"n": 21, "f": 4},
+            inputs="mixed",
+            seeds=range(3),
+        ),
+    ),
+)
+
 SMOKE = SweepSpec(
     name="smoke",
     description="Seconds-scale adversary grid for CI and tests.",
@@ -124,5 +192,6 @@ SMOKE = SweepSpec(
 
 SWEEPS: Dict[str, SweepSpec] = {
     sweep.name: sweep
-    for sweep in (COMM_VS_N, ADVERSARY_GRID, RESILIENCE_FRONTIER, SMOKE)
+    for sweep in (COMM_VS_N, ADVERSARY_GRID, RESILIENCE_FRONTIER,
+                  LATENCY_STRESS, PARTITION_HEAL, SMOKE)
 }

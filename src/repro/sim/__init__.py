@@ -15,10 +15,22 @@ The simulator realises the paper's Interactive-Turing-Machine round model:
   (capabilities, secret keys, protocol state) — minus anything erased
   under the memory-erasure model;
 - communication is accounted per Definitions 6 and 7 (classical and
-  multicast complexity).
+  multicast complexity);
+- optionally, the execution runs under declarative partial-synchrony
+  :class:`NetworkConditions` (bounded delay Δ with GST, drops,
+  duplication, scheduled partitions — see ``docs/NETWORK.md``), with
+  the engine dilating protocol rounds by Δ so the lock-step protocols
+  stay correct; perfect conditions keep the lock-step fast path.
 """
 
 from repro.sim.adversary import Adversary, AdversaryApi, PassiveAdversary
+from repro.sim.conditions import (
+    NETWORKS,
+    ConditionedNetwork,
+    NetworkConditions,
+    NetworkStats,
+    Partition,
+)
 from repro.sim.corruption import CorruptionController, CorruptionGrant
 from repro.sim.engine import (
     Simulation,
@@ -36,6 +48,11 @@ __all__ = [
     "Adversary",
     "AdversaryApi",
     "PassiveAdversary",
+    "NETWORKS",
+    "ConditionedNetwork",
+    "NetworkConditions",
+    "NetworkStats",
+    "Partition",
     "CorruptionController",
     "CorruptionGrant",
     "Simulation",

@@ -70,6 +70,18 @@ class AdversaryApi:
         """Messages staged this round (the rushing adversary's view)."""
         return self._sim.network.in_flight()
 
+    @property
+    def delta(self) -> int:
+        """The network's bounded-delay parameter Δ (1 under lock-step)."""
+        conditions = self._sim.conditions
+        return conditions.delta if conditions is not None else 1
+
+    @property
+    def can_delay(self) -> bool:
+        """Whether the execution runs under nontrivial network conditions
+        (message delaying only exists in the partial-synchrony model)."""
+        return self._sim.conditions is not None
+
     # -- powers ------------------------------------------------------------
     def corrupt(self, node_id: NodeId) -> CorruptionGrant:
         """Adaptively corrupt a node; returns its secrets and capabilities."""
@@ -90,6 +102,23 @@ class AdversaryApi:
             raise CapabilityError(
                 "must corrupt the sender before removing its message")
         self._sim.network.suppress(envelope, recipient)
+
+    def delay(self, envelope: Envelope, recipient: Optional[NodeId] = None,
+              rounds: int = 1) -> None:
+        """Delay an in-flight copy by extra network rounds (Δ-capped).
+
+        The partial-synchrony adversary controls message *timing* without
+        spending corruptions: any staged copy — honest senders included —
+        can be held back, but post-GST the network still delivers within
+        Δ rounds of sending, so the total delay is clamped there.  Only
+        available when the execution runs under nontrivial
+        :class:`~repro.sim.conditions.NetworkConditions`.
+        """
+        if not self.can_delay:
+            raise CapabilityError(
+                "message delaying requires nontrivial network conditions; "
+                "the lock-step model delivers every message next round")
+        self._sim.network.delay(envelope, recipient, rounds)
 
     def inject(self, sender: NodeId, recipient: Optional[NodeId],
                payload: Any) -> Envelope:

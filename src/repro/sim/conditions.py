@@ -1,0 +1,459 @@
+"""Partial-synchrony network conditions: delays, drops, partitions, GST.
+
+The paper's protocols are stated for lock-step synchrony (every message
+staged in round ``r`` arrives at the beginning of round ``r + 1``).  Their
+practical interest, though, is how communication and round counts behave
+when delivery is delayed, lossy, or partitioned — the partial-synchrony
+regime of Dwork–Lynch–Stockmeyer that follow-up work (Momose–Ren's
+"Optimal Communication Complexity of Byzantine Agreement, Revisited",
+Cohen–Keidar–Spiegelman's "Make Every Word Count") targets directly.
+
+This module makes that regime a declarative, picklable value:
+
+- :class:`NetworkConditions` describes one network environment: the
+  bounded-delay parameter ``Δ``, a global stabilization time (GST),
+  a per-copy latency distribution, pre-GST drop/duplication rates, and
+  scheduled :class:`Partition` windows.
+- :class:`ConditionedNetwork` realises those conditions on top of the
+  :class:`~repro.sim.network.SynchronousNetwork` staging/suppression
+  contract, scheduling each message *copy* for a future delivery round
+  with coins drawn deterministically from the trial seed.
+- :class:`NetworkStats` accounts the new axis: effective per-copy
+  delivery latency, peak messages-in-flight, drops, duplicates,
+  partition deferrals, and adversarial delays.
+
+Semantics (see ``docs/NETWORK.md`` for the full model):
+
+- Time is measured in *network rounds*.  Under conditions with ``Δ > 1``
+  the engine runs a synchronizer: honest nodes take one protocol step
+  every ``Δ`` network rounds, so every copy delayed at most ``Δ`` rounds
+  arrives before the step that needs it — the classical clock-dilation
+  argument for running a lock-step protocol under bounded delay.
+- A copy sent at network round ``s ≥ gst`` is delivered at some round in
+  ``(s, s + Δ]``: the latency draw (and any adversarial delay) is clamped
+  to ``Δ``.  Copies sent before GST may be delayed up to ``pre_gst_cap``
+  rounds, dropped, or duplicated.
+- A :class:`Partition` defers copies that would cross it (in either
+  direction) to its heal round; partitions model outages, so a crossing
+  copy may exceed the ``Δ`` bound.  Conditions used by the Δ-bounded
+  property tests therefore schedule no partitions.
+- The default conditions, :meth:`NetworkConditions.perfect`, are exactly
+  the lock-step model; the engine detects them and keeps using the plain
+  :class:`SynchronousNetwork` fast path, byte-identical to before.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.rng import Seed, derive_rng
+from repro.sim.network import Delivery, Envelope, SynchronousNetwork
+from repro.types import NodeId, Round
+
+#: Supported latency-distribution spec heads (first element of the
+#: ``latency`` tuple).  Specs are plain tuples so conditions stay
+#: hashable and picklable (worker processes receive them by pickle).
+LATENCY_SPECS = ("fixed", "uniform", "geometric")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A scheduled network split over ``[start, end)`` network rounds.
+
+    Either ``split`` (a fraction: nodes ``< split * n`` form one side,
+    the rest the other — size-independent, usable across a sweep's
+    ``n`` axis) or explicit ``groups`` (blocks of node ids; unlisted
+    nodes form one implicit extra block) must be given, not both.
+    Copies crossing the partition while it is active are deferred to
+    the heal round ``end`` rather than dropped.
+    """
+
+    start: Round
+    end: Round
+    split: Optional[float] = None
+    groups: Tuple[Tuple[NodeId, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"partition must heal after it starts "
+                f"(start={self.start}, end={self.end})")
+        if (self.split is None) == (not self.groups):
+            raise ConfigurationError(
+                "partition needs exactly one of split= or groups=")
+        if self.split is not None and not 0.0 < self.split < 1.0:
+            raise ConfigurationError(
+                f"partition split must be in (0, 1), got {self.split}")
+
+    def active_at(self, round_index: Round) -> bool:
+        return self.start <= round_index < self.end
+
+    def _block_of(self, node: NodeId, n: int) -> int:
+        if self.split is not None:
+            return 0 if node < self.split * n else 1
+        for index, block in enumerate(self.groups):
+            if node in block:
+                return index
+        return len(self.groups)
+
+    def separates(self, sender: NodeId, recipient: NodeId, n: int) -> bool:
+        return self._block_of(sender, n) != self._block_of(recipient, n)
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """One declarative network environment (hashable, picklable).
+
+    ``delta``
+        The bounded-delay parameter Δ (in network rounds).  Post-GST
+        every copy is delivered within Δ rounds of sending, and the
+        engine dilates protocol rounds by Δ so lock-step protocols stay
+        correct under any Δ-bounded schedule.
+    ``gst``
+        Global stabilization time (network round).  ``0`` means the
+        network is Δ-bounded from the start; before GST copies may be
+        dropped (``drop_rate``), duplicated (``duplicate_rate``), or
+        delayed up to ``pre_gst_cap`` rounds.
+    ``latency``
+        Per-copy base delay distribution, as a spec tuple:
+        ``("fixed", k)``, ``("uniform", lo, hi)``, or
+        ``("geometric", p)`` (support ``{1, 2, ...}``, mean ``1/p``).
+        Draws are clamped to ``[1, Δ]`` post-GST.
+    ``partitions``
+        Scheduled :class:`Partition` windows; crossing copies defer to
+        the heal round (outages trump the Δ bound — see module docs).
+    """
+
+    delta: int = 1
+    gst: Round = 0
+    latency: Tuple[Any, ...] = ("fixed", 1)
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    partitions: Tuple[Partition, ...] = ()
+    #: Hard cap on any pre-GST delay (default ``3 * delta``): keeps
+    #: asynchronous periods finite so executions always make progress.
+    pre_gst_cap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.delta < 1:
+            raise ConfigurationError(f"delta must be >= 1, got {self.delta}")
+        if self.gst < 0:
+            raise ConfigurationError(f"gst must be >= 0, got {self.gst}")
+        for rate, label in ((self.drop_rate, "drop_rate"),
+                            (self.duplicate_rate, "duplicate_rate")):
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(
+                    f"{label} must be in [0, 1), got {rate}")
+            if rate and self.gst == 0:
+                # Drops/duplication only exist before GST; accepting the
+                # combination would silently measure a lossless network.
+                raise ConfigurationError(
+                    f"{label}={rate} has no effect with gst=0 (losses "
+                    "are pre-GST only); set gst > 0 for a lossy prelude")
+        self._validate_latency()
+        if not isinstance(self.partitions, tuple):
+            raise ConfigurationError("partitions must be a tuple")
+        if self.pre_gst_cap is not None and self.pre_gst_cap < 1:
+            raise ConfigurationError(
+                f"pre_gst_cap must be >= 1, got {self.pre_gst_cap}")
+
+    def _validate_latency(self) -> None:
+        """Full spec validation (head, arity, parameter ranges) so a
+        malformed spec fails at construction, not mid-sweep in a worker."""
+        spec = self.latency
+        if (not isinstance(spec, tuple) or not spec
+                or spec[0] not in LATENCY_SPECS):
+            raise ConfigurationError(
+                f"latency spec must be a tuple headed by one of "
+                f"{LATENCY_SPECS}, got {spec!r}")
+        head, args = spec[0], spec[1:]
+        if head == "fixed":
+            if len(args) != 1 or not isinstance(args[0], int) or args[0] < 1:
+                raise ConfigurationError(
+                    f'("fixed", k) needs one int k >= 1, got {spec!r}')
+        elif head == "uniform":
+            if (len(args) != 2
+                    or not all(isinstance(arg, int) for arg in args)
+                    or not 1 <= args[0] <= args[1]):
+                raise ConfigurationError(
+                    f'("uniform", lo, hi) needs ints 1 <= lo <= hi, '
+                    f"got {spec!r}")
+        else:  # geometric
+            if (len(args) != 1 or not isinstance(args[0], (int, float))
+                    or not 0.0 < args[0] <= 1.0):
+                raise ConfigurationError(
+                    f'("geometric", p) needs 0 < p <= 1, got {spec!r}')
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def perfect(cls) -> "NetworkConditions":
+        """Lock-step synchrony: the model everything else defaults to."""
+        return cls()
+
+    @classmethod
+    def uniform(cls, delta: int, gst: Round = 0,
+                **kwargs: Any) -> "NetworkConditions":
+        """Δ-bounded delivery with uniform per-copy latency in [1, Δ]."""
+        return cls(delta=delta, gst=gst, latency=("uniform", 1, delta),
+                   **kwargs)
+
+    # -- predicates ----------------------------------------------------------
+    @property
+    def is_perfect(self) -> bool:
+        """True iff these conditions are exactly the lock-step model (so
+        the engine can keep the unconditioned fast path)."""
+        return (self.delta == 1 and self.gst == 0
+                and self.latency == ("fixed", 1)
+                and self.drop_rate == 0.0 and self.duplicate_rate == 0.0
+                and not self.partitions)
+
+    @property
+    def effective_pre_gst_cap(self) -> int:
+        return self.pre_gst_cap if self.pre_gst_cap is not None \
+            else 3 * self.delta
+
+    def describe(self) -> str:
+        """A short scalar label for tables and artifact rows."""
+        parts = [f"Δ={self.delta}"]
+        if self.gst:
+            parts.append(f"gst={self.gst}")
+        if self.latency != ("fixed", 1) and self.latency != ("uniform", 1,
+                                                             self.delta):
+            parts.append("latency=" + ",".join(str(x) for x in self.latency))
+        if self.drop_rate:
+            parts.append(f"drop={self.drop_rate}")
+        if self.duplicate_rate:
+            parts.append(f"dup={self.duplicate_rate}")
+        if self.partitions:
+            parts.append(f"partitions={len(self.partitions)}")
+        return " ".join(parts)
+
+    def draw_latency(self, rng: random.Random) -> int:
+        """One base-delay draw from the (validated) latency spec."""
+        head = self.latency[0]
+        if head == "fixed":
+            return self.latency[1]
+        if head == "uniform":
+            return rng.randint(self.latency[1], self.latency[2])
+        # geometric(p): number of Bernoulli(p) trials up to first success
+        # (tail-capped so p close to 0 cannot spin; the GST clamps bound
+        # the effective delay anyway).
+        p = self.latency[1]
+        delay = 1
+        while rng.random() >= p and delay < 64:
+            delay += 1
+        return delay
+
+
+#: Named, n-independent condition presets usable as ``network`` bindings
+#: in scenario sweeps and as ``--network`` CLI values.  Rounds in the
+#: presets are *network* rounds (protocol round p starts at p·Δ).
+NETWORKS: Dict[str, NetworkConditions] = {
+    "perfect": NetworkConditions.perfect(),
+    # A fast, mildly jittery datacenter link: Δ-bounded from round 0.
+    "lan": NetworkConditions.uniform(delta=2),
+    # Wide-area jitter: delays up to 4 network rounds, stable from start.
+    "wan": NetworkConditions.uniform(delta=4),
+    # An asynchronous prelude: until GST the network drops a tenth of all
+    # copies and duplicates some, then stabilizes to Δ = 3.
+    "lossy": NetworkConditions(
+        delta=3, gst=9, latency=("uniform", 1, 3),
+        drop_rate=0.10, duplicate_rate=0.05),
+    # A clean half/half split that heals: rounds 2..10 cross-partition
+    # copies queue up and flood in at the heal.
+    "split-heal": NetworkConditions(
+        delta=2, latency=("uniform", 1, 2),
+        partitions=(Partition(start=2, end=10, split=0.5),)),
+}
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate accounting of one conditioned execution's network axis."""
+
+    delivered_copies: int = 0
+    dropped_copies: int = 0
+    duplicated_copies: int = 0
+    deferred_copies: int = 0
+    adversary_delayed_copies: int = 0
+    #: Sum over delivered copies of (delivery round - send round).
+    latency_total: int = 0
+    #: Peak number of scheduled-but-undelivered copies.
+    max_in_flight: int = 0
+    #: Network rounds the conditioned engine executed.
+    network_rounds: int = 0
+
+    @property
+    def mean_delivery_latency(self) -> float:
+        """Effective round latency: mean copy delay in network rounds."""
+        if not self.delivered_copies:
+            return 0.0
+        return self.latency_total / self.delivered_copies
+
+    def accumulate(self, other: "NetworkStats") -> None:
+        """Fold another execution's stats into this aggregate (peak for
+        ``max_in_flight``, sums elsewhere) — used by
+        :class:`~repro.harness.runner.TrialStats` so multi-trial network
+        aggregation reuses these fields instead of mirroring them."""
+        self.delivered_copies += other.delivered_copies
+        self.dropped_copies += other.dropped_copies
+        self.duplicated_copies += other.duplicated_copies
+        self.deferred_copies += other.deferred_copies
+        self.adversary_delayed_copies += other.adversary_delayed_copies
+        self.latency_total += other.latency_total
+        self.max_in_flight = max(self.max_in_flight, other.max_in_flight)
+        self.network_rounds += other.network_rounds
+
+
+@dataclass
+class _PendingCopy:
+    """One scheduled message copy awaiting its delivery round."""
+
+    envelope: Envelope
+    recipient: NodeId
+    sent_round: Round
+    due_round: Round
+    delivery: Delivery
+
+
+class ConditionedNetwork(SynchronousNetwork):
+    """Delay/drop/duplicate/partition semantics over the staging contract.
+
+    Keeps the base class's staging, suppression, and transcript behavior
+    (so adversary code and the engine's rushing window are unchanged) and
+    replaces same-round delivery with a per-copy schedule: each copy gets
+    a delivery round drawn deterministically from the trial seed, subject
+    to the GST/Δ clamps, pre-GST drops and duplication, scheduled
+    partitions, and any adversarial delays registered this round.
+    """
+
+    def __init__(self, n: int, conditions: NetworkConditions,
+                 seed: Seed = 0, retain_transcript: bool = True) -> None:
+        super().__init__(n, retain_transcript=retain_transcript)
+        self.conditions = conditions
+        self.stats = NetworkStats()
+        self._rng = derive_rng(seed, "network-conditions")
+        #: Scheduled copies keyed by delivery round.
+        self._pending: Dict[Round, List[_PendingCopy]] = {}
+        self._pending_count = 0
+        #: Extra rounds requested by the adversary for in-flight copies,
+        #: keyed by (envelope_id, recipient) — recipient None = all.
+        self._extra_delay: Dict[Tuple[int, Optional[NodeId]], int] = {}
+
+    # -- the adversarial scheduler hook -------------------------------------
+    def delay(self, envelope: Envelope, recipient: Optional[NodeId] = None,
+              rounds: int = 1) -> None:
+        """Register extra delay for an in-flight copy (cumulative).
+
+        Same window as :meth:`suppress`: only messages staged this round
+        can be touched.  The extra delay is applied when the copy is
+        scheduled; post-GST the total is still clamped to Δ, so the
+        adversary can push a copy to the Δ deadline but never past it.
+        """
+        if envelope.envelope_id not in self._staged_ids:
+            raise SimulationError(
+                "cannot delay a message that is not in flight")
+        if rounds < 1:
+            raise SimulationError(f"delay must be >= 1 round, got {rounds}")
+        key = (envelope.envelope_id, recipient)
+        self._extra_delay[key] = self._extra_delay.get(key, 0) + rounds
+
+    # -- scheduling ----------------------------------------------------------
+    def _copy_delay(self, envelope: Envelope, recipient: NodeId,
+                    sent_round: Round) -> int:
+        conditions = self.conditions
+        cap = (conditions.delta if sent_round >= conditions.gst
+               else conditions.effective_pre_gst_cap)
+        base = min(conditions.draw_latency(self._rng), cap)
+        extra = (self._extra_delay.get((envelope.envelope_id, recipient), 0)
+                 + self._extra_delay.get((envelope.envelope_id, None), 0))
+        if not extra:
+            return base
+        total = min(base + extra, cap)
+        if total > base:
+            # Count only *effective* delays: a request the Δ (or pre-GST)
+            # clamp nullified never changed this copy's delivery round.
+            self.stats.adversary_delayed_copies += 1
+        return total
+
+    def _schedule_copy(self, envelope: Envelope, recipient: NodeId,
+                       sent_round: Round, delivery: Delivery) -> None:
+        conditions = self.conditions
+        stats = self.stats
+        pre_gst = sent_round < conditions.gst
+        if pre_gst and conditions.drop_rate \
+                and self._rng.random() < conditions.drop_rate:
+            stats.dropped_copies += 1
+            return
+        copies = 1
+        if pre_gst and conditions.duplicate_rate \
+                and self._rng.random() < conditions.duplicate_rate:
+            copies = 2
+            stats.duplicated_copies += 1
+        for _ in range(copies):
+            due = sent_round + self._copy_delay(envelope, recipient,
+                                                sent_round)
+            self._pending.setdefault(due, []).append(_PendingCopy(
+                envelope=envelope, recipient=recipient,
+                sent_round=sent_round, due_round=due, delivery=delivery))
+            self._pending_count += 1
+
+    def _defer(self, copy: _PendingCopy, heal_round: Round) -> None:
+        copy.due_round = heal_round
+        self._pending.setdefault(heal_round, []).append(copy)
+        self._pending_count += 1
+        self.stats.deferred_copies += 1
+
+    def _blocking_partition(self, copy: _PendingCopy,
+                            round_index: Round) -> Optional[Partition]:
+        for partition in self.conditions.partitions:
+            if partition.active_at(round_index) and partition.separates(
+                    copy.envelope.sender, copy.recipient, self.n):
+                return partition
+        return None
+
+    def has_pending(self) -> bool:
+        """Whether any scheduled copy is still awaiting delivery."""
+        return self._pending_count > 0
+
+    def deliver(self) -> Dict[NodeId, List[Delivery]]:
+        """Advance one network round: schedule this round's staged
+        envelopes, then deliver every copy due now.
+
+        Determinism: envelopes are scheduled in staging (= id) order with
+        recipients ascending, all coins come from one labelled RNG stream
+        derived from the trial seed, and due copies are delivered in
+        scheduling order — so identical seeds and conditions replay
+        byte-identically.
+        """
+        sent_round = max(self._delivered_round, 0)  # senders' round
+
+        def schedule(envelope: Envelope, recipient: NodeId,
+                     delivery: Delivery) -> None:
+            self._schedule_copy(envelope, recipient, sent_round, delivery)
+
+        self._drain_staged(schedule)
+        self._extra_delay = {}
+        self._delivered_round += 1
+        round_index = self._delivered_round
+
+        stats = self.stats
+        stats.network_rounds = round_index + 1
+        stats.max_in_flight = max(stats.max_in_flight, self._pending_count)
+
+        inboxes: Dict[NodeId, List[Delivery]] = {
+            node: [] for node in range(self.n)}
+        due = self._pending.pop(round_index, [])
+        self._pending_count -= len(due)
+        for copy in due:
+            partition = self._blocking_partition(copy, round_index)
+            if partition is not None:
+                self._defer(copy, partition.end)
+                continue
+            inboxes[copy.recipient].append(copy.delivery)
+            stats.delivered_copies += 1
+            stats.latency_total += round_index - copy.sent_round
+        return inboxes

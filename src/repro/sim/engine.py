@@ -27,6 +27,7 @@ from repro.errors import SimulationError
 from repro.serialization import clear_size_cache
 from repro.rng import Seed, derive_rng
 from repro.sim.adversary import Adversary, AdversaryApi, PassiveAdversary
+from repro.sim.conditions import ConditionedNetwork, NetworkConditions
 from repro.sim.corruption import CorruptionController, CorruptionGrant
 from repro.sim.metrics import CommunicationMetrics
 from repro.sim.network import Envelope, SynchronousNetwork
@@ -58,6 +59,7 @@ class Simulation:
         signing_capabilities: Optional[Sequence] = None,
         mining_capabilities: Optional[Sequence] = None,
         transcript_retention: str = TRANSCRIPT_FULL,
+        conditions: Optional[NetworkConditions] = None,
     ) -> None:
         if not nodes:
             raise SimulationError("need at least one node")
@@ -68,9 +70,18 @@ class Simulation:
         self.nodes = list(nodes)
         self.n = len(nodes)
         self.transcript_retention = transcript_retention
-        self.network = SynchronousNetwork(
-            self.n,
-            retain_transcript=transcript_retention == TRANSCRIPT_FULL)
+        # Perfect conditions ARE the lock-step model: normalize them to
+        # None so the unconditioned fast path below stays byte-identical
+        # (same network class, same loop, same RNG consumption).
+        if conditions is not None and conditions.is_perfect:
+            conditions = None
+        self.conditions = conditions
+        retain = transcript_retention == TRANSCRIPT_FULL
+        if conditions is None:
+            self.network = SynchronousNetwork(self.n, retain_transcript=retain)
+        else:
+            self.network = ConditionedNetwork(
+                self.n, conditions, seed=seed, retain_transcript=retain)
         self.controller = CorruptionController(self.n, corruption_budget, model)
         self.metrics = CommunicationMetrics(n=self.n)
         self.adversary = adversary if adversary is not None else PassiveAdversary()
@@ -137,6 +148,40 @@ class Simulation:
         return all(node.halted or self.controller.is_corrupt(node.node_id)
                    for node in self.nodes)
 
+    def _run_conditioned(self) -> int:
+        """The partial-synchrony loop: one protocol step per Δ network rounds.
+
+        The synchronizer argument: with every copy delivered within Δ
+        network rounds of sending (post-GST), stepping the protocol only
+        every Δ rounds guarantees each step sees everything the previous
+        step sent — so a lock-step protocol runs unchanged under any
+        Δ-bounded delivery schedule.  ``current_round`` (and everything
+        the adversary and the nodes see) stays in *protocol* rounds; the
+        network keeps its own network-round clock for scheduling.
+        Deliveries landing between steps accumulate into per-node
+        buffers handed over at the next step.
+        """
+        stretch = self.conditions.delta
+        buffered: Dict[NodeId, list] = {node: [] for node in range(self.n)}
+        rounds_executed = 0
+        for network_round in range(self.max_rounds * stretch):
+            inboxes = self.network.deliver()
+            for node, deliveries in inboxes.items():
+                if deliveries:
+                    buffered[node].extend(deliveries)
+            if network_round % stretch:
+                continue
+            round_index = network_round // stretch
+            self.current_round = round_index
+            self.adversary.observe_deliveries(round_index, buffered)
+            self._honest_step(round_index, buffered)
+            buffered = {node: [] for node in range(self.n)}
+            self.adversary.react(round_index, self.network.in_flight())
+            rounds_executed = round_index + 1
+            if self._all_honest_halted():
+                break
+        return rounds_executed
+
     def run(self) -> ExecutionResult:
         if self._ran:
             raise SimulationError("a Simulation instance runs exactly once")
@@ -146,15 +191,18 @@ class Simulation:
         self.adversary.bind(self._api)
 
         rounds_executed = 0
-        for round_index in range(self.max_rounds):
-            self.current_round = round_index
-            inboxes = self.network.deliver()
-            self.adversary.observe_deliveries(round_index, inboxes)
-            self._honest_step(round_index, inboxes)
-            self.adversary.react(round_index, self.network.in_flight())
-            rounds_executed = round_index + 1
-            if self._all_honest_halted():
-                break
+        if self.conditions is not None:
+            rounds_executed = self._run_conditioned()
+        else:
+            for round_index in range(self.max_rounds):
+                self.current_round = round_index
+                inboxes = self.network.deliver()
+                self.adversary.observe_deliveries(round_index, inboxes)
+                self._honest_step(round_index, inboxes)
+                self.adversary.react(round_index, self.network.in_flight())
+                rounds_executed = round_index + 1
+                if self._all_honest_halted():
+                    break
 
         # The size memo pins message objects; this execution's messages
         # never recur in a later one, so release them now.
@@ -178,4 +226,5 @@ class Simulation:
             inputs=dict(self.inputs),
             transcript=list(self.network.transcript),
             transcript_retained=self.network.retain_transcript,
+            network_stats=getattr(self.network, "stats", None),
         )

@@ -53,14 +53,23 @@ def simulate_push_gossip(
     seed: Seed = 0,
     crashed: Optional[Sequence[NodeId]] = None,
     max_hops: Optional[int] = None,
+    loss_rate: float = 0.0,
 ) -> GossipOutcome:
     """Run fanout-``k`` push gossip from ``origin`` until no new node is
     infected (or ``max_hops``).  Crashed nodes receive but never relay.
+
+    ``loss_rate`` drops each push independently (the lossy-link regime of
+    the pre-GST network conditions model, ``docs/NETWORK.md``): a lost
+    push still counts as a relay — the sender paid for it — but infects
+    nobody.  ``loss_rate=0`` draws no loss coins, so existing seeds
+    replay byte-identically.
     """
     if n < 1:
         raise ValueError("n must be positive")
     if fanout < 1:
         raise ValueError("fanout must be positive")
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
     rng = derive_rng(seed, "gossip", n, fanout, origin)
     crashed_set: Set[NodeId] = set(crashed or ())
     infected: Set[NodeId] = {origin}
@@ -77,6 +86,8 @@ def simulate_push_gossip(
             for _ in range(fanout):
                 peer = rng.randrange(n)
                 relays += 1
+                if loss_rate and rng.random() < loss_rate:
+                    continue
                 infected.add(peer)
         hops += 1
     return GossipOutcome(n=n, fanout=fanout, hops=hops,

@@ -102,6 +102,41 @@ class SynchronousNetwork:
         """Envelopes staged this round (the rushing adversary's view)."""
         return list(self._staged)
 
+    def _drain_staged(self, per_copy) -> None:
+        """Expand the staging window into surviving per-recipient copies.
+
+        Calls ``per_copy(envelope, recipient, delivery)`` for every copy
+        that survives the contract — multicast fan-out to everyone but
+        the sender, sender self-skip on unicasts, per-``(envelope,
+        recipient)`` suppression — then resets the window.  This is the
+        canonical implementation of the contract for ``deliver()``
+        overrides (the conditioned network schedules each copy for a
+        future round); the base :meth:`deliver` keeps its own hand-tuned
+        inline expansion for the same-round hot path, so any change to
+        the contract must touch both.
+        """
+        suppressed = self._suppressed
+        for envelope in self._staged:
+            delivery = Delivery(sender=envelope.sender,
+                                payload=envelope.payload)
+            if envelope.is_multicast:
+                envelope_id = envelope.envelope_id
+                for recipient in range(self.n):
+                    if recipient == envelope.sender:
+                        continue
+                    if suppressed and (envelope_id, recipient) in suppressed:
+                        continue
+                    per_copy(envelope, recipient, delivery)
+            else:
+                recipient = envelope.recipient
+                if recipient != envelope.sender and not (
+                        suppressed
+                        and (envelope.envelope_id, recipient) in suppressed):
+                    per_copy(envelope, recipient, delivery)
+        self._staged = []
+        self._staged_ids = set()
+        self._suppressed = set()
+
     def is_suppressed(self, envelope: Envelope, recipient: NodeId) -> bool:
         return (envelope.envelope_id, recipient) in self._suppressed
 
@@ -113,7 +148,9 @@ class SynchronousNetwork:
         replay exactly.  A multicast shares one frozen :class:`Delivery`
         across all recipients instead of materializing ``n`` copies, and
         the per-copy suppression lookup is skipped entirely when nothing
-        was suppressed this round (the common case).
+        was suppressed this round (the common case).  The inline
+        expansion below is the hot-path twin of :meth:`_drain_staged`;
+        keep the two in sync.
         """
         inboxes: Dict[NodeId, List[Delivery]] = {node: [] for node in range(self.n)}
         suppressed = self._suppressed

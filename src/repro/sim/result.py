@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.sim.conditions import NetworkStats
 from repro.sim.metrics import CommunicationMetrics
 from repro.sim.network import Envelope
 from repro.types import Bit, NodeId, Round
@@ -38,6 +39,10 @@ class ExecutionResult:
     #: because nothing was sent — transcript-based analyses must refuse
     #: rather than vacuously pass.
     transcript_retained: bool = True
+    #: Delivery-latency / drop / in-flight accounting when the execution
+    #: ran under nontrivial :class:`~repro.sim.conditions.NetworkConditions`
+    #: (None under perfect synchrony — the fast path records nothing).
+    network_stats: Optional[NetworkStats] = None
 
     def require_transcript(self) -> List[Envelope]:
         """The transcript, refusing to hand back a discarded one.

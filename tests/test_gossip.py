@@ -65,6 +65,93 @@ class TestPushGossip:
             simulate_push_gossip(n=0)
         with pytest.raises(ValueError):
             simulate_push_gossip(n=10, fanout=0)
+        with pytest.raises(ValueError):
+            simulate_push_gossip(n=10, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            simulate_push_gossip(n=10, loss_rate=-0.1)
+
+
+class TestFanoutBounds:
+    """Per-hop relay accounting: every active node pushes exactly
+    ``fanout`` times per hop, no more, no less."""
+
+    def test_relays_bounded_by_active_nodes_times_fanout(self):
+        # At most |infected| nodes are active per hop, and infected can
+        # grow by at most fanout * active per hop, so total relays are
+        # bounded by fanout * sum over hops of |infected at hop start|.
+        for fanout in (1, 2, 5):
+            outcome = simulate_push_gossip(n=64, fanout=fanout, seed=11)
+            assert outcome.relays % fanout == 0
+            # Never more pushes than every node relaying every hop:
+            assert outcome.relays <= outcome.hops * fanout * outcome.n
+            # And at least one full hop from the origin:
+            if outcome.hops:
+                assert outcome.relays >= fanout
+
+    def test_single_hop_is_exactly_origin_fanout(self):
+        outcome = simulate_push_gossip(n=50, fanout=7, seed=12, max_hops=1)
+        assert outcome.hops == 1
+        assert outcome.relays == 7
+
+    def test_fanout_one_grows_slowest(self):
+        slow = simulate_push_gossip(n=256, fanout=1, seed=13, max_hops=5)
+        fast = simulate_push_gossip(n=256, fanout=8, seed=13, max_hops=5)
+        assert slow.reached <= fast.reached
+
+
+class TestDuplicateSuppression:
+    """Re-infecting an informed node is a no-op: coverage counts distinct
+    nodes, never exceeds n, and stops growing once saturated."""
+
+    def test_reached_never_exceeds_n(self):
+        # Fanout far above n: nearly every push is a duplicate.
+        outcome = simulate_push_gossip(n=8, fanout=50, seed=14)
+        assert outcome.reached <= 8
+        assert outcome.full_coverage
+        assert outcome.relays > 8  # duplicates were attempted...
+        # ...but each node is counted once: reached == n exactly.
+        assert outcome.reached == 8
+
+    def test_saturated_network_stops(self):
+        """Once everyone is infected the loop exits instead of pushing
+        duplicate traffic forever."""
+        outcome = simulate_push_gossip(n=4, fanout=16, seed=15)
+        assert outcome.full_coverage
+        assert outcome.hops <= 3
+
+    def test_n_equals_one_needs_no_gossip(self):
+        outcome = simulate_push_gossip(n=1, fanout=4, seed=16)
+        assert outcome.full_coverage
+        assert outcome.hops == 0
+        assert outcome.relays == 0
+
+
+class TestDeliveryUnderDrop:
+    """Lossy links: pushes are paid for but may infect nobody."""
+
+    def test_loss_zero_matches_lossless_stream(self):
+        """loss_rate=0 draws no loss coins: byte-identical to before."""
+        a = simulate_push_gossip(n=200, fanout=4, seed=17)
+        b = simulate_push_gossip(n=200, fanout=4, seed=17, loss_rate=0.0)
+        assert a == b
+
+    def test_moderate_loss_still_covers(self):
+        outcome = simulate_push_gossip(n=300, fanout=8, seed=18,
+                                       loss_rate=0.25)
+        assert outcome.full_coverage
+
+    def test_loss_slows_coverage(self):
+        lossless = simulate_push_gossip(n=400, fanout=4, seed=19, max_hops=4)
+        lossy = simulate_push_gossip(n=400, fanout=4, seed=19,
+                                     loss_rate=0.6, max_hops=4)
+        assert lossy.reached < lossless.reached
+        # Lost pushes still count as relays (the sender paid for them).
+        assert lossy.relays > 0
+
+    def test_heavy_loss_deterministic_per_seed(self):
+        a = simulate_push_gossip(n=150, fanout=5, seed=20, loss_rate=0.5)
+        b = simulate_push_gossip(n=150, fanout=5, seed=20, loss_rate=0.5)
+        assert a == b
 
 
 class TestGossipCostTranslation:
