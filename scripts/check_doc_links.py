@@ -3,8 +3,12 @@
 Scans every ``*.md`` file in the repository for markdown links
 ``[text](target)`` and verifies that each relative target resolves to an
 existing file or directory (anchors are stripped; external ``http(s)``,
-``mailto`` and pure-anchor links are skipped).  Exits non-zero listing
-every broken link — run by the CI docs job.
+``mailto`` and pure-anchor links are skipped).  Additionally enforces
+the documentation graph in :data:`REQUIRED_LINKS`: pages that must
+cross-link each other (e.g. the protocol reference ``docs/PROTOCOLS.md``
+must be reachable from the README and the architecture/network pages).
+Exits non-zero listing every broken or missing link — run by the CI
+docs and early-stop-smoke jobs.
 
 Usage::
 
@@ -23,6 +27,20 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+#: The guaranteed documentation graph: ``(source, target)`` pairs, both
+#: repo-relative, where ``source`` must contain a markdown link that
+#: resolves to ``target``.  Keeps the cross-linking contract of the
+#: docs pass from silently rotting (a page can exist yet be orphaned).
+REQUIRED_LINKS = (
+    ("README.md", "docs/PROTOCOLS.md"),
+    ("README.md", "docs/ARCHITECTURE.md"),
+    ("docs/ARCHITECTURE.md", "docs/PROTOCOLS.md"),
+    ("docs/NETWORK.md", "docs/PROTOCOLS.md"),
+    ("docs/SCENARIOS.md", "docs/PROTOCOLS.md"),
+    ("docs/PROTOCOLS.md", "docs/NETWORK.md"),
+    ("docs/PROTOCOLS.md", "docs/SCENARIOS.md"),
+)
 
 
 def iter_markdown(root: Path):
@@ -46,18 +64,42 @@ def broken_links(root: Path):
                 yield md_file.relative_to(root), target
 
 
+def missing_required_links(root: Path):
+    for source, target in REQUIRED_LINKS:
+        source_path = root / source
+        if not source_path.exists():
+            yield source, target
+            continue
+        text = source_path.read_text(encoding="utf-8")
+        wanted = (root / target).resolve()
+        for match in LINK_RE.finditer(text):
+            raw = match.group(1)
+            if raw.startswith(SKIP_PREFIXES):
+                continue
+            relative = raw.split("#", 1)[0]
+            if relative and (source_path.parent / relative).resolve() \
+                    == wanted:
+                break
+        else:
+            yield source, target
+
+
 def main() -> int:
     root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 \
         else Path(__file__).resolve().parent.parent
     broken = list(broken_links(root))
     for md_file, target in broken:
         print(f"BROKEN {md_file}: ({target})")
+    missing = list(missing_required_links(root))
+    for source, target in missing:
+        print(f"MISSING {source}: required link to {target}")
     checked = sum(1 for _ in iter_markdown(root))
-    if broken:
-        print(f"{len(broken)} broken link(s) across {checked} markdown "
-              f"file(s)")
+    if broken or missing:
+        print(f"{len(broken)} broken and {len(missing)} missing required "
+              f"link(s) across {checked} markdown file(s)")
         return 1
-    print(f"all intra-repo links resolve across {checked} markdown file(s)")
+    print(f"all intra-repo links resolve across {checked} markdown file(s); "
+          f"{len(REQUIRED_LINKS)} required cross-links present")
     return 0
 
 

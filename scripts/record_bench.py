@@ -102,6 +102,60 @@ def profile_network_fast_path(n: int = 96, f: int = 47, seed: int = 1) -> dict:
     }
 
 
+def profile_early_stop(n: int = 96, f: int = 31, seed: int = 1) -> dict:
+    """Early stopping pays for itself: fixed-budget phase-king versus the
+    GST-aware early-stop variant under the ``lan`` preset.
+
+    Asserts the variant's wall clock *and* round count drop against the
+    fixed-budget original (phase-king always runs its full epoch budget,
+    so this is the cleanest before/after pair), that both runs agree and
+    validate, and that the fixed run reports zero rounds saved.
+    """
+    from repro.harness import run_instance
+    from repro.protocols.early_stopping import build_phase_king_early_stop
+    from repro.protocols.phase_king import build_phase_king
+    from repro.sim.conditions import NETWORKS
+
+    conditions = NETWORKS["lan"]
+    inputs = [i % 2 for i in range(n)]
+
+    def timed_run(builder, **kwargs):
+        instance = builder(n, f, inputs, seed=seed, **kwargs)
+        start = time.perf_counter()
+        result = run_instance(instance, f, seed=seed, conditions=conditions)
+        return result, time.perf_counter() - start
+
+    fixed, fixed_wall = timed_run(build_phase_king)
+    early, early_wall = timed_run(build_phase_king_early_stop,
+                                  conditions=conditions)
+    for result in (fixed, early):
+        assert result.consistent() and result.agreement_valid(), \
+            "early-stop profile produced an invalid execution"
+    assert fixed.rounds_saved == 0, \
+        "fixed-budget phase-king must run out its budget"
+    assert early.rounds_executed < fixed.rounds_executed, \
+        "early stopping failed to cut rounds_executed"
+    assert early.rounds_saved > 0, \
+        "early stopping failed to report rounds_saved"
+    assert early_wall < fixed_wall, \
+        "early stopping failed to cut wall clock"
+    return {
+        "n": n,
+        "f": f,
+        "seed": seed,
+        "network": "lan",
+        "rounds_executed_fixed_budget": fixed.rounds_executed,
+        "rounds_executed_early_stop": early.rounds_executed,
+        "rounds_saved": early.rounds_saved,
+        "multicasts_fixed_budget":
+            fixed.metrics.multicast_complexity_messages,
+        "multicasts_early_stop":
+            early.metrics.multicast_complexity_messages,
+        "wall_seconds_fixed_budget": round(fixed_wall, 4),
+        "wall_seconds_early_stop": round(early_wall, 4),
+    }
+
+
 def profile_sweep(name: str = "adversary-grid") -> dict:
     """One named sweep, with and without the shared lottery cache."""
     from repro.harness.scenarios import run_sweep
@@ -137,6 +191,7 @@ def main() -> None:
         "quadratic-ba-n192": profile_quadratic(192, 95),
         "sweep-adversary-grid": profile_sweep("adversary-grid"),
         "network-fast-path-n96": profile_network_fast_path(96, 47),
+        "early-stop-n96-lan": profile_early_stop(96, 31),
     }
     for name, profile in profiles.items():
         baseline = SEED_BASELINE.get(name, {})
@@ -162,6 +217,12 @@ def main() -> None:
                   f"unshared), {profile['lottery_hits']}/"
                   f"{profile['lottery_coins'] + profile['lottery_hits']} "
                   f"flips served from cache")
+        elif "rounds_saved" in profile:
+            print(f"  {name}: {profile['rounds_executed_early_stop']} rounds "
+                  f"({profile['wall_seconds_early_stop']}s) vs fixed budget "
+                  f"{profile['rounds_executed_fixed_budget']} rounds "
+                  f"({profile['wall_seconds_fixed_budget']}s); "
+                  f"{profile['rounds_saved']} rounds saved")
         elif "fast_path_identical" in profile:
             print(f"  {name}: perfect-conditions run identical to "
                   f"unconditioned ({profile['wall_seconds_perfect_conditions']}s"

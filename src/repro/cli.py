@@ -13,11 +13,16 @@ artifacts (see ``docs/SCENARIOS.md``)::
     python -m repro sweep comm-vs-n --workers 4 --out-dir artifacts
 
 ``run`` — execute one protocol instance and print its result summary,
-optionally under named partial-synchrony network conditions (see
-``docs/NETWORK.md``)::
+optionally under named partial-synchrony network conditions and a
+per-link latency topology (see ``docs/NETWORK.md``); the GST-aware
+early-stopping variants (``quadratic-early-stop``,
+``phase-king-early-stop``, see ``docs/PROTOCOLS.md``) additionally
+report the rounds saved against their budget::
 
     python -m repro run --protocol subquadratic -n 300 -f 90 \\
         --adversary crash --input mixed --seed 7 --network wan
+    python -m repro run --protocol phase-king-early-stop -n 40 -f 13 \\
+        --network lan --topology clustered
 
 ``params`` — concrete parameter selection (the λ = ω(log κ) inversion)::
 
@@ -41,22 +46,32 @@ from repro.harness import run_instance
 from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.protocols import (
     build_phase_king,
+    build_phase_king_early_stop,
     build_phase_king_subquadratic,
     build_quadratic_ba,
+    build_quadratic_ba_early_stop,
     build_static_committee,
     build_subquadratic_ba,
 )
-from repro.sim.conditions import NETWORKS
+from repro.errors import ConfigurationError
+from repro.sim.conditions import NETWORKS, TOPOLOGIES
 from repro.sim.trace import summarize_transcript
 from repro.types import SecurityParameters
 
 PROTOCOLS = {
     "subquadratic": build_subquadratic_ba,
     "quadratic": build_quadratic_ba,
+    "quadratic-early-stop": build_quadratic_ba_early_stop,
     "phase-king": build_phase_king,
+    "phase-king-early-stop": build_phase_king_early_stop,
     "phase-king-subquadratic": build_phase_king_subquadratic,
     "static-committee": build_static_committee,
 }
+
+#: GST-aware variants whose builders take the execution's conditions
+#: (to derive the trusted-round gate) and whose runs report the saving.
+EARLY_STOP_PROTOCOLS = frozenset(
+    {"quadratic-early-stop", "phase-king-early-stop"})
 
 ADVERSARIES = {
     "none": lambda instance: None,
@@ -98,6 +113,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="force these network conditions onto every "
                             "scenario of the sweep (overrides any "
                             "network bindings; see docs/NETWORK.md)")
+    sweep.add_argument("--topology", choices=sorted(TOPOLOGIES),
+                       default=None,
+                       help="force this per-link latency topology onto "
+                            "every scenario (needs conditions with "
+                            "delta > 1; see docs/NETWORK.md)")
 
     run = sub.add_parser("run", help="run one protocol execution")
     run.add_argument("--protocol", choices=sorted(PROTOCOLS),
@@ -116,6 +136,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--network", choices=sorted(NETWORKS), default="perfect",
                      help="named network conditions for the execution "
                           "(see docs/NETWORK.md)")
+    run.add_argument("--topology", choices=sorted(TOPOLOGIES), default=None,
+                     help="per-link latency topology layered onto the "
+                          "network conditions (needs delta > 1; see "
+                          "docs/NETWORK.md)")
 
     par = sub.add_parser("params", help="choose λ for a target error")
     par.add_argument("-n", type=int, required=True)
@@ -159,20 +183,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"(have: {', '.join(sorted(SWEEPS))})", file=sys.stderr)
         return 2
     sweep = SWEEPS[args.name]
+    forced = {}
     if args.network is not None:
-        # Force the conditions onto every scenario: fixed bindings are
-        # overridden by grid axes of the same name, so drop any
-        # ``network`` grid axis rather than silently losing the flag.
+        forced["network"] = args.network
+    if args.topology is not None:
+        forced["topology"] = args.topology
+    if forced:
+        # Force the bindings onto every scenario: fixed bindings are
+        # overridden by grid axes of the same name, so drop any grid
+        # axis of the same name rather than silently losing the flag.
         import dataclasses as _dataclasses
         sweep = _dataclasses.replace(sweep, scenarios=tuple(
             _dataclasses.replace(
                 scenario,
                 grid={axis: values for axis, values in scenario.grid.items()
-                      if axis != "network"},
-                fixed={**scenario.fixed, "network": args.network})
+                      if axis not in forced},
+                fixed={**scenario.fixed, **forced})
             for scenario in sweep.scenarios))
-    result = run_sweep(sweep, workers=args.workers,
-                       share_lottery=not args.no_shared_lottery)
+    try:
+        result = run_sweep(sweep, workers=args.workers,
+                           share_lottery=not args.no_shared_lottery)
+    except ConfigurationError as error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
     print(result.to_table().render())
     if result.lottery is not None:
         lottery = result.lottery
@@ -194,12 +227,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     f = args.f if args.f is not None else int(0.25 * n)
     params = SecurityParameters(lam=args.lam, epsilon=0.1)
     builder = PROTOCOLS[args.protocol]
+    conditions = NETWORKS[args.network]
+    if args.topology is not None:
+        import dataclasses as _dataclasses
+        try:
+            conditions = _dataclasses.replace(
+                conditions, topology=TOPOLOGIES[args.topology])
+        except ConfigurationError as error:
+            print(f"run: {error}", file=sys.stderr)
+            return 2
     kwargs = dict(n=n, f=f, inputs=_inputs_for(args.input, n), seed=args.seed)
     if args.protocol in ("subquadratic", "phase-king-subquadratic"):
         kwargs.update(params=params, mode=args.mode)
+    if args.protocol in EARLY_STOP_PROTOCOLS:
+        # The GST-aware builders gate their unanimity detectors on the
+        # conditions' trusted-send round.
+        kwargs.update(conditions=conditions)
     instance = builder(**kwargs)
     adversary = ADVERSARIES[args.adversary](instance)
-    conditions = NETWORKS[args.network]
     result = run_instance(instance, f, adversary, seed=args.seed,
                           conditions=conditions)
     trace = summarize_transcript(result.require_transcript())
@@ -218,6 +263,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"valid:               {result.agreement_valid()}")
     print(f"all decided:         {result.all_decided()}")
     print(f"rounds:              {result.rounds_executed}")
+    if args.protocol in EARLY_STOP_PROTOCOLS:
+        print(f"rounds saved:        {result.rounds_saved} "
+              f"(budget {result.rounds_budget})")
     print(f"corruptions used:    {result.corruptions_used}")
     print(f"honest multicasts:   "
           f"{result.metrics.multicast_complexity_messages}")

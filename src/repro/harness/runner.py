@@ -69,6 +69,7 @@ class TrialStats:
         self._multicast_bits = 0
         self._rounds = 0
         self._corruptions = 0
+        self._rounds_saved = 0
         self._max_message_bits = 0
         self._network_trials = 0
         self._network = NetworkStats()
@@ -92,6 +93,7 @@ class TrialStats:
         self._multicast_bits += result.metrics.multicast_complexity_bits
         self._rounds += result.rounds_executed
         self._corruptions += result.corruptions_used
+        self._rounds_saved += result.rounds_saved
         self._max_message_bits = max(self._max_message_bits,
                                      result.metrics.max_message_bits)
         network = result.network_stats
@@ -134,6 +136,13 @@ class TrialStats:
     @property
     def mean_corruptions(self) -> float:
         return self._corruptions / self.trials if self._results else 0.0
+
+    @property
+    def mean_rounds_saved(self) -> float:
+        """Mean protocol rounds finished under the round budget — the
+        payoff axis of the early-stopping variants (0.0 for protocols
+        that always run their full budget)."""
+        return self._rounds_saved / self.trials if self._results else 0.0
 
     @property
     def max_message_bits(self) -> int:
@@ -184,9 +193,12 @@ def _run_one_trial(
     transcript_retention: str,
     conditions: Optional[NetworkConditions],
     builder_kwargs: dict,
+    builder_takes_conditions: bool = False,
 ) -> ExecutionResult:
     """One seed's build-and-run; module-level so worker processes can
     receive it by pickle."""
+    if builder_takes_conditions:
+        builder_kwargs = dict(builder_kwargs, conditions=conditions)
     instance = builder(f=f, seed=seed, **builder_kwargs)
     adversary = (adversary_factory(instance)
                  if adversary_factory is not None else None)
@@ -204,6 +216,7 @@ def run_trials(
     workers: int = 1,
     transcript_retention: str = TRANSCRIPT_FULL,
     conditions: Optional[NetworkConditions] = None,
+    builder_takes_conditions: bool = False,
     pool=None,
     **builder_kwargs,
 ) -> TrialStats:
@@ -212,6 +225,10 @@ def run_trials(
     The builder receives ``seed=<seed>`` plus ``builder_kwargs``; the
     adversary factory (if any) is invoked on each fresh instance, so
     attacks can read the instance's services.
+    ``builder_takes_conditions`` forwards ``conditions`` to the builder
+    as well — for the GST-aware early-stopping builders, which derive
+    their trusted-round gate from the same conditions the engine runs
+    under.
 
     ``workers > 1`` fans the seeds across a ``ProcessPoolExecutor``.
     Results are aggregated in seed order regardless of which worker
@@ -236,7 +253,8 @@ def run_trials(
             futures = [
                 owned.submit(_run_one_trial, builder, f, seed,
                              adversary_factory, model, transcript_retention,
-                             conditions, builder_kwargs)
+                             conditions, builder_kwargs,
+                             builder_takes_conditions)
                 for seed in seeds
             ]
             for future in futures:
@@ -245,7 +263,7 @@ def run_trials(
         futures = [
             pool.submit(_run_one_trial, builder, f, seed,
                         adversary_factory, model, transcript_retention,
-                        conditions, builder_kwargs)
+                        conditions, builder_kwargs, builder_takes_conditions)
             for seed in seeds
         ]
         for future in futures:
@@ -254,5 +272,6 @@ def run_trials(
         for seed in seeds:
             stats.add(_run_one_trial(builder, f, seed, adversary_factory,
                                      model, transcript_retention,
-                                     conditions, builder_kwargs))
+                                     conditions, builder_kwargs,
+                                     builder_takes_conditions))
     return stats

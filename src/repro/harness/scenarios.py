@@ -30,6 +30,12 @@ through to the builder):
 ``network``      per-cell network conditions (usable as a grid axis): a
                  :data:`~repro.sim.conditions.NETWORKS` preset name or a
                  :class:`~repro.sim.conditions.NetworkConditions` value
+``topology``     per-link latency topology layered onto the cell's
+                 network conditions: a
+                 :data:`~repro.sim.conditions.TOPOLOGIES` preset name or
+                 a :class:`~repro.sim.conditions.LinkTopology` value
+                 (nontrivial topologies require a ``network`` binding
+                 with ``delta > 1``)
 
 Determinism: cells expand in scenario order then row-major grid order,
 trials aggregate in seed order for any worker count, and the shared
@@ -69,14 +75,21 @@ from repro.eligibility.lottery_cache import SharedLotteryCache, release_cache
 from repro.errors import ConfigurationError
 from repro.harness.runner import TrialStats, run_instance, run_trials
 from repro.harness.tables import Table
-from repro.sim.conditions import NETWORKS, NetworkConditions
+from repro.sim.conditions import (
+    NETWORKS,
+    TOPOLOGIES,
+    LinkTopology,
+    NetworkConditions,
+)
 from repro.protocols import (
     build_broadcast_from_ba,
     build_dolev_strong,
     build_naive_broadcast,
     build_phase_king,
+    build_phase_king_early_stop,
     build_phase_king_subquadratic,
     build_quadratic_ba,
+    build_quadratic_ba_early_stop,
     build_round_eligibility,
     build_static_committee,
     build_subquadratic_ba,
@@ -102,13 +115,22 @@ class ProtocolEntry:
     #: Whether the builder accepts ``coin_cache=`` for the shared
     #: eligibility lottery (fmine mode only).
     shares_lottery: bool = False
+    #: GST-aware early-stopping variants: the builder accepts
+    #: ``conditions=`` (to derive its trusted-round gate from the cell's
+    #: network conditions) and the cell's artifact row gains a
+    #: ``mean_rounds_saved`` column.
+    early_stopping: bool = False
 
 
 PROTOCOLS: Dict[str, ProtocolEntry] = {
     "subquadratic": ProtocolEntry(
         build_subquadratic_ba, accepts_params=True, shares_lottery=True),
     "quadratic": ProtocolEntry(build_quadratic_ba),
+    "quadratic-early-stop": ProtocolEntry(
+        build_quadratic_ba_early_stop, early_stopping=True),
     "phase-king": ProtocolEntry(build_phase_king),
+    "phase-king-early-stop": ProtocolEntry(
+        build_phase_king_early_stop, early_stopping=True),
     "phase-king-subquadratic": ProtocolEntry(
         build_phase_king_subquadratic, accepts_params=True,
         shares_lottery=True),
@@ -192,7 +214,7 @@ class AdversaryFactorySpec:
 #: Bindings resolved by the layer rather than passed to the builder.
 RESERVED_BINDINGS = frozenset(
     {"n", "f", "f_fraction", "lam", "epsilon", "adversary", "inputs",
-     "network"})
+     "network", "topology"})
 
 
 @dataclass(frozen=True)
@@ -345,13 +367,50 @@ def _bind_cell(spec: ScenarioSpec, raw: Dict[str, Any]) -> Cell:
         raise ConfigurationError(
             f"network binding must be a NETWORKS name or a "
             f"NetworkConditions, got {network_binding!r}")
+    topology_binding = raw.pop("topology", None)
+    topology: Optional[LinkTopology] = None
+    topology_label: Optional[str] = None
+    if isinstance(topology_binding, str):
+        if topology_binding not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology {topology_binding!r} "
+                f"(have {sorted(TOPOLOGIES)})")
+        topology = TOPOLOGIES[topology_binding]
+        topology_label = topology_binding
+    elif isinstance(topology_binding, LinkTopology):
+        topology = topology_binding
+        topology_label = topology.describe()
+    elif topology_binding is not None:
+        raise ConfigurationError(
+            f"topology binding must be a TOPOLOGIES name or a "
+            f"LinkTopology, got {topology_binding!r}")
+    if topology is not None:
+        # The binding wins over any topology baked into an inline
+        # NetworkConditions value — a 'uniform' axis point *strips* a
+        # baked-in topology — so one conditions object can back a whole
+        # topology axis with an honest uniform baseline.
+        if network is None:
+            if not topology.is_trivial:
+                raise ConfigurationError(
+                    f"scenario {spec.name!r}: a nontrivial topology "
+                    "shapes latency within the Δ bound, so it needs a "
+                    "network binding with delta > 1 (e.g. 'lan' or "
+                    "'wan')")
+        elif topology.is_trivial:
+            if network.topology is not None:
+                network = dataclasses.replace(network, topology=None)
+        elif network.delta > 1:
+            network = dataclasses.replace(network, topology=topology)
+        # else delta == 1: every surcharge would clamp away, so the
+        # cell stays lock-step — the Δ-clamp semantics, and the same
+        # exemption --network perfect enjoys, so a forced --topology
+        # can span grids that include perfect cells.
     if network is not None and network.is_perfect:
         network = None  # the engine's fast path; keep the label for rows
     if network is not None and not executor.supports_network:
         raise ConfigurationError(
             f"scenario {spec.name!r}: executor {spec.executor!r} does not "
-            "support network conditions (attack harnesses drive the "
-            "lock-step network directly)")
+            "support network conditions")
 
     n = raw.get("n")
     f = _resolve_f(raw, n)
@@ -433,6 +492,8 @@ def _bind_cell(spec: ScenarioSpec, raw: Dict[str, Any]) -> Cell:
         _record("inputs", inputs_key)
     if network_label is not None:
         _record("network", network_label)
+    if topology_label is not None:
+        _record("topology", topology_label)
 
     return Cell(
         scenario=spec.name,
@@ -471,8 +532,9 @@ class Executor:
     #: rejected rather than silently truncated to ``seeds[0]``.
     single_seed: bool = False
     #: Whether the executor honors a ``network`` binding (the protocol
-    #: executors do; the attack harnesses drive the lock-step network
-    #: directly and reject one rather than silently ignoring it).
+    #: executors and the attack harnesses do; executors that never run a
+    #: protocol — ``hypothetical``, ``committee-census`` — reject one
+    #: rather than silently ignoring it).
     supports_network: bool = False
 
 
@@ -480,7 +542,8 @@ def _is_scalar(value: Any) -> bool:
     return value is None or isinstance(value, (bool, int, float, str))
 
 
-def _stats_metrics(stats: TrialStats) -> Dict[str, Any]:
+def _stats_metrics(stats: TrialStats,
+                   early_stopping: bool = False) -> Dict[str, Any]:
     metrics = {
         "trials": stats.trials,
         "consistency_rate": stats.consistency_rate,
@@ -499,6 +562,10 @@ def _stats_metrics(stats: TrialStats) -> Dict[str, Any]:
         metrics["mean_delivery_latency"] = stats.mean_delivery_latency
         metrics["max_in_flight"] = stats.max_in_flight
         metrics["dropped_copies"] = stats.dropped_copies
+    # Likewise the rounds-saved column appears only for the early-stop
+    # protocol variants, whose whole point it measures.
+    if early_stopping:
+        metrics["mean_rounds_saved"] = stats.mean_rounds_saved
     return metrics
 
 
@@ -533,17 +600,19 @@ def _execute_trials(cell: Cell, workers: int,
                     coin_cache: Optional[SharedLotteryCache],
                     pool=None) -> Tuple[TrialStats, Dict[str, Any]]:
     """The default executor: :func:`run_trials` over the cell's seeds."""
+    entry = PROTOCOLS[cell.protocol]
     stats = run_trials(
-        PROTOCOLS[cell.protocol].builder,
+        entry.builder,
         f=cell.f,
         seeds=cell.seeds,
         adversary_factory=_adversary_factory(cell),
         workers=workers,
         conditions=cell.network,
+        builder_takes_conditions=entry.early_stopping,
         pool=pool,
         **_cell_trial_kwargs(cell, coin_cache),
     )
-    return stats, _stats_metrics(stats)
+    return stats, _stats_metrics(stats, early_stopping=entry.early_stopping)
 
 
 def _execute_per_seed(cell: Cell, workers: int,
@@ -556,19 +625,21 @@ def _execute_per_seed(cell: Cell, workers: int,
     counts, corruption schedules) that :class:`TrialStats` does not
     carry; always sequential so the adversary objects stay in-process.
     """
-    builder = PROTOCOLS[cell.protocol].builder
+    entry = PROTOCOLS[cell.protocol]
     kwargs = _cell_trial_kwargs(cell, coin_cache)
+    if entry.early_stopping:
+        kwargs["conditions"] = cell.network
     factory = _adversary_factory(cell)
     records: List[Tuple[Any, Any]] = []
     stats = TrialStats()
     for seed in cell.seeds:
-        instance = builder(f=cell.f, seed=seed, **kwargs)
+        instance = entry.builder(f=cell.f, seed=seed, **kwargs)
         adversary = factory(instance) if factory is not None else None
         result = run_instance(instance, cell.f, adversary, seed=seed,
                               conditions=cell.network)
         records.append((result, adversary))
         stats.add(result)
-    return records, _stats_metrics(stats)
+    return records, _stats_metrics(stats, early_stopping=entry.early_stopping)
 
 
 def _attack_kwargs(cell: Cell) -> Dict[str, Any]:
@@ -583,7 +654,7 @@ def _execute_theorem4(cell: Cell, workers: int,
     from repro.lowerbounds import run_theorem4_attack
     report = run_theorem4_attack(
         PROTOCOLS[cell.protocol].builder, n=cell.n, f=cell.f,
-        seeds=cell.seeds, **_attack_kwargs(cell))
+        seeds=cell.seeds, conditions=cell.network, **_attack_kwargs(cell))
     return report, _report_metrics(report)
 
 
@@ -593,7 +664,7 @@ def _execute_theorem4_census(cell: Cell, workers: int,
     from repro.lowerbounds.theorem4 import run_theorem4_census
     census = run_theorem4_census(
         PROTOCOLS[cell.protocol].builder, n=cell.n, f=cell.f,
-        seeds=cell.seeds, **_attack_kwargs(cell))
+        seeds=cell.seeds, conditions=cell.network, **_attack_kwargs(cell))
     return census, _report_metrics(census)
 
 
@@ -603,7 +674,7 @@ def _execute_dolev_reischuk(cell: Cell, workers: int,
     from repro.lowerbounds import run_dolev_reischuk_attack
     report = run_dolev_reischuk_attack(
         PROTOCOLS[cell.protocol].builder, n=cell.n, f=cell.f,
-        seed=cell.seeds[0], **_attack_kwargs(cell))
+        seed=cell.seeds[0], conditions=cell.network, **_attack_kwargs(cell))
     return report, _report_metrics(report)
 
 
@@ -661,11 +732,17 @@ def _execute_committee_census(cell: Cell, workers: int,
 EXECUTORS: Dict[str, Executor] = {
     "trials": Executor(_execute_trials, supports_network=True),
     "per-seed": Executor(_execute_per_seed, supports_network=True),
-    "theorem4": Executor(_execute_theorem4, folds_params=False),
+    # The attack harnesses run their adversaries through run_instance,
+    # which takes conditions — so partition/latency *studies* of the
+    # lower-bound attacks are a network binding away (the proofs'
+    # view-identity arguments assume lock-step; under conditions the
+    # reports are empirical, see docs/NETWORK.md).
+    "theorem4": Executor(_execute_theorem4, folds_params=False,
+                         supports_network=True),
     "theorem4-census": Executor(_execute_theorem4_census,
-                                folds_params=False),
+                                folds_params=False, supports_network=True),
     "dolev-reischuk": Executor(_execute_dolev_reischuk, folds_params=False,
-                               single_seed=True),
+                               single_seed=True, supports_network=True),
     "hypothetical": Executor(
         _execute_hypothetical, needs_protocol=False, needs_f=False,
         single_seed=True),

@@ -24,7 +24,18 @@ motivates directly:
   security rates stay flat (the synchronizer argument, executable).
 - ``partition-heal`` — scheduled split-brain windows that heal, with and
   without a lossy asynchronous prelude: deferred cross-partition traffic
-  floods in at the heal and the protocols still decide.
+  floods in at the heal and the protocols still decide.  Also runs the
+  Theorem-4 and Dolev–Reischuk attack harnesses under the same split —
+  partition *studies* of the lower-bound attacks.
+- ``early-stop-vs-delta`` — the GST-aware early-stopping variants
+  (``docs/PROTOCOLS.md``) under a fixed GST and growing Δ: larger Δ puts
+  GST at an earlier *protocol* round, so the trusted unanimity detector
+  fires sooner and ``rounds_saved`` grows monotonically with the
+  Δ-headroom.
+- ``topology-grid`` — one protocol point swept across the per-link
+  latency topologies (uniform / clustered / star / ring): security rates
+  stay flat while effective delivery latency tracks the topology's
+  slow-link structure.
 - ``smoke`` — a seconds-scale miniature of ``adversary-grid`` used by CI
   and the test suite.
 
@@ -38,6 +49,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.harness.scenarios import ScenarioSpec, SweepSpec, f_half_minus_one
+from repro.sim.conditions import NetworkConditions
 
 
 COMM_VS_N = SweepSpec(
@@ -154,7 +166,8 @@ PARTITION_HEAL = SweepSpec(
     name="partition-heal",
     description="Scheduled split-brain that heals (and a lossy prelude): "
                 "deferred traffic floods in at the heal, decisions still "
-                "land (docs/NETWORK.md).",
+                "land; plus partition studies of the Theorem-4 and "
+                "Dolev-Reischuk attacks (docs/NETWORK.md).",
     scenarios=(
         ScenarioSpec(
             name="quadratic",
@@ -169,6 +182,94 @@ PARTITION_HEAL = SweepSpec(
             protocol="phase-king",
             grid={"network": ("perfect", "split-heal")},
             fixed={"n": 21, "f": 4},
+            inputs="mixed",
+            seeds=range(3),
+        ),
+        # Partition studies on the lower-bound attack harnesses: does
+        # strongly adaptive isolation still starve its victim when the
+        # network itself splits and heals mid-attack?
+        # total_rounds=8 protocol rounds × Δ=2 comfortably clears the
+        # split-heal partition's heal at network round 10, so the study
+        # observes the post-heal flood rather than an unhealed cutoff.
+        ScenarioSpec(
+            name="theorem4-under-partition",
+            protocol="naive-broadcast",
+            executor="theorem4",
+            grid={"network": ("perfect", "split-heal")},
+            fixed={"n": 24, "f": 8, "sender_input": 0, "total_rounds": 8},
+            seeds=range(2),
+        ),
+        ScenarioSpec(
+            name="dolev-reischuk-under-partition",
+            protocol="naive-broadcast",
+            executor="dolev-reischuk",
+            grid={"network": ("perfect", "split-heal")},
+            fixed={"n": 24, "f": 8, "sender_input": 0, "total_rounds": 8},
+            seeds=(0,),
+        ),
+    ),
+)
+
+#: Fixed GST at network round 12 with a lossy prelude; the Δ axis grows
+#: the dilation, so stabilization lands at protocol round ``ceil(12/Δ)``
+#: — the early-stop detectors' trusted round — earlier and earlier.
+#: Phase-king keeps a mild 10% prelude (its 2n/3 tallies are fragile to
+#: heavy loss); quadratic BA needs 30% to keep its f+1 quorums from
+#: deciding before GST at all.
+def _early_stop_conditions(drop_rate):
+    return tuple(
+        NetworkConditions(delta=delta, gst=12,
+                          latency=("uniform", 1, delta),
+                          drop_rate=drop_rate)
+        for delta in (2, 3, 4, 6))
+
+EARLY_STOP_VS_DELTA = SweepSpec(
+    name="early-stop-vs-delta",
+    description="GST-aware early stopping vs Δ-headroom: fixed GST, "
+                "growing Δ — the trusted unanimity round arrives at an "
+                "earlier protocol round, so rounds_saved grows "
+                "monotonically (docs/PROTOCOLS.md).",
+    scenarios=(
+        ScenarioSpec(
+            name="phase-king-early-stop",
+            protocol="phase-king-early-stop",
+            grid={"network": _early_stop_conditions(0.1)},
+            fixed={"n": 21, "f": 4},
+            inputs="ones",
+            seeds=range(3),
+        ),
+        ScenarioSpec(
+            name="quadratic-early-stop",
+            protocol="quadratic-early-stop",
+            grid={"network": _early_stop_conditions(0.3)},
+            fixed={"n": 15, "f": 7},
+            inputs="mixed",
+            seeds=range(3),
+        ),
+    ),
+)
+
+TOPOLOGY_GRID = SweepSpec(
+    name="topology-grid",
+    description="Per-link latency topologies (uniform/clustered/star/"
+                "ring) under WAN conditions: security rates stay flat "
+                "while delivery latency tracks the slow links "
+                "(docs/NETWORK.md).",
+    scenarios=(
+        ScenarioSpec(
+            name="quadratic",
+            protocol="quadratic",
+            grid={"topology": ("uniform", "clustered", "star", "ring")},
+            fixed={"n": 24, "f": 5, "network": "wan"},
+            inputs="mixed",
+            seeds=range(3),
+        ),
+        ScenarioSpec(
+            name="subquadratic",
+            protocol="subquadratic",
+            grid={"topology": ("uniform", "clustered")},
+            fixed={"n": 48, "f_fraction": 0.25, "lam": 16, "epsilon": 0.1,
+                   "network": "wan"},
             inputs="mixed",
             seeds=range(3),
         ),
@@ -193,5 +294,6 @@ SMOKE = SweepSpec(
 SWEEPS: Dict[str, SweepSpec] = {
     sweep.name: sweep
     for sweep in (COMM_VS_N, ADVERSARY_GRID, RESILIENCE_FRONTIER,
-                  LATENCY_STRESS, PARTITION_HEAL, SMOKE)
+                  LATENCY_STRESS, PARTITION_HEAL, EARLY_STOP_VS_DELTA,
+                  TOPOLOGY_GRID, SMOKE)
 }

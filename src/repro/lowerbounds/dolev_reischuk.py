@@ -30,6 +30,7 @@ from repro.errors import ConfigurationError
 from repro.harness.runner import run_instance
 from repro.protocols.base import ProtocolInstance
 from repro.sim.adversary import Adversary
+from repro.sim.conditions import NetworkConditions
 from repro.sim.network import Delivery, Envelope
 from repro.types import AdversaryModel, Bit, NodeId, Round
 
@@ -175,6 +176,7 @@ def run_dolev_reischuk_attack(
     sender_input: Bit,
     seed=0,
     sender: NodeId = 0,
+    conditions: Optional[NetworkConditions] = None,
     **builder_kwargs,
 ) -> DolevReischukReport:
     """Execute the A / A' experiment against a deterministic protocol.
@@ -184,6 +186,13 @@ def run_dolev_reischuk_attack(
     default).  The protocol must be deterministic for Run 2's
     view-identity argument to hold — the harness replays it with the same
     seed.
+
+    ``conditions`` runs both executions under partial synchrony — a
+    partition *study*.  Each run is still deterministic (the network's
+    coins derive from the shared seed), but the view-identity argument is
+    stated for lock-step delivery: Run 2's different send pattern shifts
+    the network's coin stream, so a conditioned report is an empirical
+    observation about the attack's robustness, not the Ω(f²) proof.
     """
     if f < 2:
         raise ConfigurationError("the experiment needs f >= 2")
@@ -195,7 +204,8 @@ def run_dolev_reischuk_attack(
                        **builder_kwargs)
     adversary_a = _IgnoringSetAdversary(corrupt_set, ignore_first=half_f)
     result_a = run_instance(instance, f, adversary_a,
-                            model=AdversaryModel.ADAPTIVE, seed=seed)
+                            model=AdversaryModel.ADAPTIVE, seed=seed,
+                            conditions=conditions)
     messages_into_v = sum(adversary_a.received_by.values())
     honest_outputs = set(result_a.honest_outputs)
     honest_bit = honest_outputs.pop() if len(honest_outputs) == 1 else None
@@ -222,7 +232,8 @@ def run_dolev_reischuk_attack(
         adversary_ap = _PrimeAdversary(corrupt_set, victim, suppressors,
                                        ignore_first=half_f)
         result_ap = run_instance(instance2, f, adversary_ap,
-                                 model=AdversaryModel.ADAPTIVE, seed=seed)
+                                 model=AdversaryModel.ADAPTIVE, seed=seed,
+                                 conditions=conditions)
         victim_output = result_ap.outputs.get(victim)
         other_nodes = [node for node in result_ap.forever_honest
                        if node != victim]

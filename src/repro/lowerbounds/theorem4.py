@@ -16,11 +16,12 @@ attack succeeds, with a corruption count of the order of the protocol's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.adversaries.strongly_adaptive import IsolationAdversary
 from repro.harness.runner import run_instance
 from repro.protocols.base import ProtocolInstance
+from repro.sim.conditions import NetworkConditions
 from repro.types import AdversaryModel, Bit, NodeId
 
 __all__ = [
@@ -87,9 +88,15 @@ def run_theorem4_census(
     sender_input: Bit,
     seeds: Sequence,
     epsilon: float = 0.25,
+    conditions: Optional[NetworkConditions] = None,
     **builder_kwargs,
 ) -> Theorem4Census:
-    """Run adversary ``A`` repeatedly and tally the proof's events."""
+    """Run adversary ``A`` repeatedly and tally the proof's events.
+
+    ``conditions`` runs the executions under partial synchrony (a
+    *study*: the proof's counting argument is stated for lock-step, so
+    conditioned frequencies are empirical, not the theorem's).
+    """
     from repro.lowerbounds.dolev_reischuk import _IgnoringSetAdversary
     from repro.rng import derive_rng
 
@@ -108,7 +115,8 @@ def run_theorem4_census(
         adversary = _IgnoringSetAdversary(corrupt_set, ignore_first=half_f)
         from repro.harness.runner import run_instance
         run_instance(instance, f, adversary,
-                     model=AdversaryModel.ADAPTIVE, seed=seed)
+                     model=AdversaryModel.ADAPTIVE, seed=seed,
+                     conditions=conditions)
         z = sum(adversary.received_by.values())
         zs.append(z)
         x = z < budget
@@ -144,13 +152,17 @@ def run_theorem4_attack(
     seeds: Sequence,
     epsilon: float = 0.5,
     victim: NodeId = 5,
+    conditions: Optional[NetworkConditions] = None,
     **builder_kwargs,
 ) -> Theorem4Report:
     """Run the isolation attack over several seeds and aggregate.
 
     ``builder(n=, f=, sender_input=, seed=, **kwargs)`` must produce a
     broadcast instance whose designated sender is node 0 (so the victim
-    default of node 5 is never the sender).
+    default of node 5 is never the sender).  ``conditions`` runs the
+    executions under partial synchrony — a partition *study* of the
+    attack (the staging/suppression contract the strongly adaptive
+    adversary relies on is unchanged under conditions).
     """
     violations = 0
     exhausted = 0
@@ -164,7 +176,7 @@ def run_theorem4_attack(
         adversary = IsolationAdversary(victim=victim)
         result = run_instance(instance, f, adversary,
                               model=AdversaryModel.STRONGLY_ADAPTIVE,
-                              seed=seed)
+                              seed=seed, conditions=conditions)
         broken = not (result.consistent()
                       and result.broadcast_valid(0, sender_input))
         violations += broken

@@ -26,9 +26,20 @@ Baselines the paper positions itself against:
   memory-erasure defence (forward-secure keys).
 - :mod:`repro.protocols.naive` — deliberately cheap deterministic
   broadcast protocols used as lower-bound targets.
+
+GST-aware early-stopping variants (``docs/PROTOCOLS.md``):
+
+- :mod:`repro.protocols.early_stopping` — quadratic BA and phase-king
+  with certified-round detectors that terminate the moment a trusted
+  unanimous round is observed, instead of running out the worst-case
+  round budget.
 """
 
 from repro.protocols.base import ProtocolInstance
+from repro.protocols.early_stopping import (
+    build_phase_king_early_stop,
+    build_quadratic_ba_early_stop,
+)
 from repro.protocols.quadratic_ba import build_quadratic_ba
 from repro.protocols.subquadratic_ba import build_subquadratic_ba
 from repro.protocols.phase_king import build_phase_king
@@ -44,8 +55,10 @@ __all__ = [
     "ProtocolInstance",
     "VerificationCache",
     "build_quadratic_ba",
+    "build_quadratic_ba_early_stop",
     "build_subquadratic_ba",
     "build_phase_king",
+    "build_phase_king_early_stop",
     "build_phase_king_subquadratic",
     "build_dolev_strong",
     "build_static_committee",

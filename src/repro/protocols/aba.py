@@ -81,6 +81,12 @@ def rounds_for_iterations(iterations: int) -> int:
     return 2 + 4 * (iterations - 1) + 1
 
 
+def vote_send_round(iteration: int) -> Round:
+    """The global round in which iteration-``r`` votes are multicast
+    (inverse of :func:`schedule` for the Vote phase)."""
+    return 0 if iteration == 1 else 4 * iteration - 4
+
+
 @dataclass
 class AbaConfig:
     """Parameters distinguishing the quadratic and subquadratic worlds."""
@@ -92,6 +98,19 @@ class AbaConfig:
     #: Execution-wide memo for the public verification predicates; the
     #: nodes of one instance share it (see repro.protocols.verification).
     verification: VerificationCache = field(default_factory=VerificationCache)
+    #: GST-aware early stopping (the ``quadratic-early-stop`` registry
+    #: key): decide the moment an iteration's votes are unanimous — all
+    #: ``n`` voters for one bit — instead of waiting for the Commit
+    #: round-trip.  Sound because a unanimous vote round leaves at most
+    #: ``f < threshold`` possible opposite votes, so no conflicting
+    #: certificate can ever form.  Detection is gated on
+    #: ``trusted_send_round``: before it, drops or unhealed partitions
+    #: can fake unanimity in a single node's view (see
+    #: ``docs/PROTOCOLS.md``).
+    early_stop_unanimity: bool = False
+    #: First protocol round whose sends provably reach every honest node
+    #: (``NetworkConditions.trusted_send_round``; 0 under lock-step).
+    trusted_send_round: Round = 0
 
 
 class AbaNode(Node):
@@ -404,6 +423,16 @@ class AbaNode(Node):
                 self.commits_seen.setdefault(
                     (iteration, bit), {}).setdefault(self.node_id, commit)
 
+    def _unanimous_votes(self) -> Optional[Tuple[int, Bit]]:
+        """An iteration whose votes are unanimous — all ``n`` voters for
+        one bit — and whose vote round is past the trusted-send round."""
+        trusted = self.config.trusted_send_round
+        for (iteration, bit), votes in self.votes_seen.items():
+            if (len(votes) >= self.n
+                    and vote_send_round(iteration) >= trusted):
+                return (iteration, bit)
+        return None
+
     # -- main entry point ---------------------------------------------------------
     def on_round(self, ctx: RoundContext) -> None:
         iteration, phase = schedule(ctx.round)
@@ -422,6 +451,22 @@ class AbaNode(Node):
             self._do_vote(ctx, iteration)
         elif phase == PHASE_COMMIT:
             self._do_commit(ctx, iteration)
+        if self.config.early_stop_unanimity:
+            # The fast path runs *after* the phase action: at the Commit
+            # round the node has already multicast its own commit (so the
+            # quorum machinery of slower nodes — whose view a rushing
+            # equivocator can keep short of unanimity — is fed as usual)
+            # and then decides immediately instead of waiting a round for
+            # the commit quorum to come back.  Quietly: peers' commits
+            # are still in flight, so a Terminate here would carry fewer
+            # than threshold commits and be rejected by every receiver —
+            # n wasted copies (when a quorum *is* already on hand,
+            # _process_inbox has fired the normal _terminate above).
+            unanimous = self._unanimous_votes()
+            if unanimous is not None:
+                self.decision_iteration, self.decision = unanimous
+                self.decide(self.decision, ctx.round)
+                self.halted = True
 
     def output(self) -> Optional[Bit]:
         return self.decision

@@ -114,6 +114,27 @@ class AckMsg:
     auth: Any
 
 
+@dataclass(frozen=True)
+class PhaseKingDecideMsg:
+    """``(Decide, r, b)`` of the GST-aware early-stopping phase-king.
+
+    Carries a *unanimity certificate*: the ``n`` authenticated epoch-``r``
+    ACKs for ``b`` the sender observed.  The certificate is transferable
+    proof that every honest node ACKed ``b`` in epoch ``r`` — which (for
+    ``f < n/3``) pins every honest tally at ``≥ 2n/3`` for ``b``, makes
+    ``b`` sticky everywhere, and therefore fixes every honest output —
+    so a receiver may adopt ``b`` and halt without waiting out the
+    remaining epoch budget.  Only the early-stopping variant sends or
+    accepts it; the fixed-budget protocol ignores unknown payloads.
+    """
+
+    epoch: int
+    bit: Bit
+    acks: Tuple[AckMsg, ...]
+    sender: NodeId
+    auth: Any
+
+
 # NOTE: "Certificate" stays a string annotation (defined in
 # repro.protocols.certificates) to avoid a circular import; dataclasses
 # never resolve the annotation at runtime.

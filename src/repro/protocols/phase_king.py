@@ -34,7 +34,11 @@ from repro.protocols.base import (
     ProtocolInstance,
     SignatureAuthenticator,
 )
-from repro.protocols.messages import AckMsg, PhaseKingProposeMsg
+from repro.protocols.messages import (
+    AckMsg,
+    PhaseKingDecideMsg,
+    PhaseKingProposeMsg,
+)
 from repro.protocols.verification import VerificationCache
 from repro.rng import Seed
 from repro.sim.leader import LeaderOracle, RoundRobinLeaderOracle
@@ -53,6 +57,18 @@ class PhaseKingConfig:
     #: Execution-wide memo for the public verification predicates; the
     #: nodes of one instance share it (see repro.protocols.verification).
     verification: VerificationCache = field(default_factory=VerificationCache)
+    #: GST-aware early stopping (the ``phase-king-early-stop`` registry
+    #: key): a node that observes a *unanimous* epoch — authenticated
+    #: ACKs for one bit from all ``n`` nodes — multicasts the ACK set as
+    #: a transferable unanimity certificate (:class:`PhaseKingDecideMsg`)
+    #: and halts instead of running out the epoch budget.  Detection is
+    #: gated on ``trusted_send_round``: a unanimous-looking epoch
+    #: observed while drops or partitions are still possible may be an
+    #: artifact of one node's view (see ``docs/PROTOCOLS.md``).
+    early_stop_unanimity: bool = False
+    #: First protocol round whose sends provably reach every honest node
+    #: (``NetworkConditions.trusted_send_round``; 0 under lock-step).
+    trusted_send_round: int = 0
 
 
 def phase_king_rounds(epochs: int) -> int:
@@ -78,6 +94,13 @@ class PhaseKingNode(Node):
         # ACK or proposal is verified once per execution, not once per
         # recipient.
         self._verification = config.verification
+        # Early-stopping bookkeeping (populated only when the variant is
+        # enabled): the authenticated ACK objects per (epoch, bit) — the
+        # raw material of a unanimity certificate — and a decision
+        # adopted from a received certificate, applied at the top of the
+        # next on_round.
+        self._ack_msgs: Dict[Tuple[int, Bit], Dict[NodeId, AckMsg]] = {}
+        self._adopted_decision: Optional[Tuple[int, Bit]] = None
 
     # -- message intake -----------------------------------------------------
     def _process_inbox(self, ctx: RoundContext) -> None:
@@ -94,6 +117,35 @@ class PhaseKingNode(Node):
                         ("ACK", msg.epoch, msg.bit), msg.auth):
                     self.acks_seen.setdefault(
                         (msg.epoch, msg.bit), set()).add(msg.sender)
+                    if self.config.early_stop_unanimity:
+                        self._ack_msgs.setdefault(
+                            (msg.epoch, msg.bit), {}).setdefault(
+                                msg.sender, msg)
+            elif isinstance(msg, PhaseKingDecideMsg):
+                if (self.config.early_stop_unanimity
+                        and self._decide_msg_valid(msg)):
+                    self._adopted_decision = (msg.epoch, msg.bit)
+
+    def _decide_msg_valid(self, msg: PhaseKingDecideMsg) -> bool:
+        """A decide message is exactly as good as the unanimity
+        certificate it carries: ``n`` authenticated epoch-``r`` ACKs for
+        one bit, from a trusted (fully synchronous) epoch.  The sender's
+        own authority is irrelevant — a valid certificate is
+        transferable proof regardless of who relays it."""
+        if msg.bit not in (0, 1):
+            return False
+        if 2 * msg.epoch + 1 < self.config.trusted_send_round:
+            return False
+        ackers: Set[NodeId] = set()
+        for ack in msg.acks:
+            if ack.epoch != msg.epoch or ack.bit != msg.bit:
+                return False
+            if not self._verification.check_auth(
+                    self.config.authenticator, ack.sender,
+                    ("ACK", ack.epoch, ack.bit), ack.auth):
+                return False
+            ackers.add(ack.sender)
+        return len(ackers) >= self.n
 
     def _tally(self, epoch: int) -> None:
         """Step 3: adopt a bit with ample ACKs, else clear the sticky flag."""
@@ -109,9 +161,42 @@ class PhaseKingNode(Node):
         else:
             self.sticky = False
 
+    # -- early stopping ------------------------------------------------------
+    def _unanimity_bit(self, epoch: int) -> Optional[Bit]:
+        """The bit all ``n`` nodes ACKed in ``epoch``, if the epoch was
+        unanimous and its ACK round is past the trusted-send round."""
+        if 2 * epoch + 1 < self.config.trusted_send_round:
+            return None
+        for bit in (0, 1):
+            if len(self.acks_seen.get((epoch, bit), ())) >= self.n:
+                return bit
+        return None
+
+    def _early_decide(self, ctx: RoundContext, epoch: int, bit: Bit,
+                      certificate: Optional[Tuple[AckMsg, ...]]) -> None:
+        """Adopt ``bit``, publish the unanimity certificate (detection
+        only — adopters received the certificate by multicast, so every
+        honest node already has it), and halt."""
+        self.belief = bit
+        self.sticky = True
+        self.last_acked = bit
+        self.decide(bit, ctx.round)
+        if certificate is not None:
+            auth = self.config.authenticator.attempt(
+                self.node_id, ("Decide", epoch, bit))
+            if auth is not None:
+                ctx.multicast(PhaseKingDecideMsg(
+                    epoch=epoch, bit=bit, acks=certificate,
+                    sender=self.node_id, auth=auth))
+        self.halted = True
+
     # -- round behaviour --------------------------------------------------------
     def on_round(self, ctx: RoundContext) -> None:
         self._process_inbox(ctx)
+        if self._adopted_decision is not None:
+            epoch, bit = self._adopted_decision
+            self._early_decide(ctx, epoch, bit, certificate=None)
+            return
         epoch, is_ack_round = divmod(ctx.round, 2)
         if epoch >= self.config.epochs:
             # Final tally round: absorb the last epoch's ACKs and stop.
@@ -122,6 +207,15 @@ class PhaseKingNode(Node):
         if not is_ack_round:
             if epoch > 0:
                 self._tally(epoch - 1)
+                if self.config.early_stop_unanimity:
+                    unanimous = self._unanimity_bit(epoch - 1)
+                    if unanimous is not None:
+                        acks = self._ack_msgs.get((epoch - 1, unanimous), {})
+                        self._early_decide(
+                            ctx, epoch - 1, unanimous,
+                            certificate=tuple(
+                                acks[node] for node in sorted(acks)))
+                        return
             # Propose round: flip the epoch coin and (conditionally) propose.
             coin: Bit = ctx.rng.randrange(2)
             auth = self.config.proposer.attempt(self.node_id, epoch, coin)
@@ -143,10 +237,14 @@ class PhaseKingNode(Node):
             auth = self.config.authenticator.attempt(
                 self.node_id, ("ACK", epoch, chosen))
             if auth is not None:
-                ctx.multicast(AckMsg(epoch=epoch, bit=chosen,
-                                     sender=self.node_id, auth=auth))
+                ack = AckMsg(epoch=epoch, bit=chosen,
+                             sender=self.node_id, auth=auth)
+                ctx.multicast(ack)
                 self.acks_seen.setdefault(
                     (epoch, chosen), set()).add(self.node_id)
+                if self.config.early_stop_unanimity:
+                    self._ack_msgs.setdefault(
+                        (epoch, chosen), {}).setdefault(self.node_id, ack)
 
     def output(self) -> Optional[Bit]:
         if not self.halted:

@@ -26,7 +26,9 @@ The simulator realises the paper's Interactive-Turing-Machine round model:
 from repro.sim.adversary import Adversary, AdversaryApi, PassiveAdversary
 from repro.sim.conditions import (
     NETWORKS,
+    TOPOLOGIES,
     ConditionedNetwork,
+    LinkTopology,
     NetworkConditions,
     NetworkStats,
     Partition,
@@ -49,7 +51,9 @@ __all__ = [
     "AdversaryApi",
     "PassiveAdversary",
     "NETWORKS",
+    "TOPOLOGIES",
     "ConditionedNetwork",
+    "LinkTopology",
     "NetworkConditions",
     "NetworkStats",
     "Partition",

@@ -12,8 +12,10 @@ This module makes that regime a declarative, picklable value:
 
 - :class:`NetworkConditions` describes one network environment: the
   bounded-delay parameter ``Δ``, a global stabilization time (GST),
-  a per-copy latency distribution, pre-GST drop/duplication rates, and
-  scheduled :class:`Partition` windows.
+  a per-copy latency distribution, pre-GST drop/duplication rates,
+  scheduled :class:`Partition` windows, and an optional per-link
+  :class:`LinkTopology` (clustered / star / ring / explicit matrix)
+  consulted per ``(sender, receiver)`` pair.
 - :class:`ConditionedNetwork` realises those conditions on top of the
   :class:`~repro.sim.network.SynchronousNetwork` staging/suppression
   contract, scheduling each message *copy* for a future delivery round
@@ -57,6 +59,152 @@ from repro.types import NodeId, Round
 #: ``latency`` tuple).  Specs are plain tuples so conditions stay
 #: hashable and picklable (worker processes receive them by pickle).
 LATENCY_SPECS = ("fixed", "uniform", "geometric")
+
+#: Supported :class:`LinkTopology` kinds.
+TOPOLOGY_KINDS = ("uniform", "clustered", "star", "ring", "matrix")
+
+
+@dataclass(frozen=True)
+class LinkTopology:
+    """Per-link latency shaping: a deterministic extra delay per
+    ``(sender, receiver)`` pair (hashable, picklable).
+
+    The per-copy base latency draw models *jitter*; the topology models
+    *where the slow links are*.  :class:`ConditionedNetwork` consults the
+    topology once per pair — the same pair always pays the same surcharge
+    — before the Δ clamp, so a topology shapes latency **within** the
+    Δ bound rather than extending it.
+
+    Kinds (use the classmethod constructors):
+
+    ``uniform``
+        No shaping; every link is identical (the implicit default).
+    ``clustered``
+        Nodes split into ``clusters`` contiguous blocks (datacenter
+        pods); cross-cluster copies pay ``extra`` rounds.
+    ``star``
+        Links touching the ``hub`` node are fast; spoke-to-spoke copies
+        pay ``extra`` rounds (hub-and-spoke routing).
+    ``ring``
+        Copies pay ``extra`` rounds per ring hop beyond the first, for
+        the shorter direction around the ring.
+    ``matrix``
+        An explicit ``n × n`` surcharge matrix (rows = senders); the
+        only n-dependent kind, validated against the network size.
+    """
+
+    kind: str
+    clusters: int = 2
+    extra: int = 1
+    hub: NodeId = 0
+    matrix: Tuple[Tuple[int, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ConfigurationError(
+                f"unknown topology kind {self.kind!r} "
+                f"(have {TOPOLOGY_KINDS})")
+        if self.kind == "clustered" and self.clusters < 2:
+            raise ConfigurationError(
+                f"clustered topology needs >= 2 clusters, "
+                f"got {self.clusters}")
+        if self.kind != "matrix" and self.extra < 0:
+            raise ConfigurationError(
+                f"topology extra delay must be >= 0, got {self.extra}")
+        if self.kind == "matrix":
+            if not self.matrix:
+                raise ConfigurationError("matrix topology needs a matrix")
+            for row in self.matrix:
+                if len(row) != len(self.matrix):
+                    raise ConfigurationError(
+                        "topology matrix must be square")
+                if any(not isinstance(cell, int) or cell < 0 for cell in row):
+                    raise ConfigurationError(
+                        "topology matrix entries must be ints >= 0")
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def uniform(cls) -> "LinkTopology":
+        return cls(kind="uniform", extra=0)
+
+    @classmethod
+    def clustered(cls, clusters: int = 4, extra: int = 2) -> "LinkTopology":
+        return cls(kind="clustered", clusters=clusters, extra=extra)
+
+    @classmethod
+    def star(cls, hub: NodeId = 0, extra: int = 2) -> "LinkTopology":
+        return cls(kind="star", hub=hub, extra=extra)
+
+    @classmethod
+    def ring(cls, extra: int = 1) -> "LinkTopology":
+        return cls(kind="ring", extra=extra)
+
+    @classmethod
+    def from_matrix(cls, rows) -> "LinkTopology":
+        return cls(kind="matrix",
+                   matrix=tuple(tuple(row) for row in rows))
+
+    # -- predicates ----------------------------------------------------------
+    @property
+    def is_trivial(self) -> bool:
+        """True iff no link ever pays a surcharge (so conditions carrying
+        this topology can still normalize to the lock-step fast path)."""
+        if self.kind == "matrix":
+            return all(cell == 0 for row in self.matrix for cell in row)
+        return self.kind == "uniform" or self.extra == 0
+
+    def check_n(self, n: int) -> None:
+        """Validate the topology against a concrete network size."""
+        if self.kind == "matrix" and len(self.matrix) != n:
+            raise ConfigurationError(
+                f"matrix topology is {len(self.matrix)}x"
+                f"{len(self.matrix)} but the network has {n} nodes")
+        if self.kind == "star" and not 0 <= self.hub < n:
+            raise ConfigurationError(
+                f"star hub {self.hub} out of range for n={n}")
+
+    def link_extra(self, sender: NodeId, receiver: NodeId, n: int) -> int:
+        """The deterministic surcharge for one directed link."""
+        if self.kind == "uniform":
+            return 0
+        if self.kind == "clustered":
+            if sender * self.clusters // n == receiver * self.clusters // n:
+                return 0
+            return self.extra
+        if self.kind == "star":
+            if sender == self.hub or receiver == self.hub:
+                return 0
+            return self.extra
+        if self.kind == "ring":
+            distance = min((sender - receiver) % n, (receiver - sender) % n)
+            return self.extra * max(0, distance - 1)
+        return self.matrix[sender][receiver]
+
+    def describe(self) -> str:
+        """A short scalar label for tables and artifact rows."""
+        if self.kind == "uniform":
+            return "uniform"
+        if self.kind == "clustered":
+            return f"clustered({self.clusters},+{self.extra})"
+        if self.kind == "star":
+            return f"star(hub={self.hub},+{self.extra})"
+        if self.kind == "ring":
+            return f"ring(+{self.extra}/hop)"
+        return f"matrix({len(self.matrix)}x{len(self.matrix)})"
+
+
+#: Named, n-independent topology presets usable as ``topology`` bindings
+#: in scenario sweeps and as ``--topology`` CLI values (the ``matrix``
+#: kind is inline-only: it pins n).
+TOPOLOGIES: Dict[str, LinkTopology] = {
+    "uniform": LinkTopology.uniform(),
+    # Four datacenter pods; crossing a pod boundary costs two rounds.
+    "clustered": LinkTopology.clustered(clusters=4, extra=2),
+    # Hub-and-spoke: node 0 is the well-connected relay.
+    "star": LinkTopology.star(hub=0, extra=2),
+    # A ring where each extra hop around the shorter arc costs a round.
+    "ring": LinkTopology.ring(extra=1),
+}
 
 
 @dataclass(frozen=True)
@@ -136,6 +284,10 @@ class NetworkConditions:
     #: Hard cap on any pre-GST delay (default ``3 * delta``): keeps
     #: asynchronous periods finite so executions always make progress.
     pre_gst_cap: Optional[int] = None
+    #: Per-link latency shaping (None = every link identical); the
+    #: surcharge is applied before the Δ clamp, so a topology shapes
+    #: latency within the bound rather than extending it.
+    topology: Optional[LinkTopology] = None
 
     def __post_init__(self) -> None:
         if self.delta < 1:
@@ -159,6 +311,18 @@ class NetworkConditions:
         if self.pre_gst_cap is not None and self.pre_gst_cap < 1:
             raise ConfigurationError(
                 f"pre_gst_cap must be >= 1, got {self.pre_gst_cap}")
+        if self.topology is not None and not isinstance(
+                self.topology, LinkTopology):
+            raise ConfigurationError(
+                f"topology must be a LinkTopology, got {self.topology!r}")
+        if (self.topology is not None and not self.topology.is_trivial
+                and self.delta == 1):
+            # Every surcharge would be clamped straight back to Δ = 1;
+            # accepting the combination would silently measure a uniform
+            # network.
+            raise ConfigurationError(
+                f"topology {self.topology.describe()} has no effect with "
+                "delta=1 (link surcharges are clamped to Δ); use delta > 1")
 
     def _validate_latency(self) -> None:
         """Full spec validation (head, arity, parameter ranges) so a
@@ -208,12 +372,34 @@ class NetworkConditions:
         return (self.delta == 1 and self.gst == 0
                 and self.latency == ("fixed", 1)
                 and self.drop_rate == 0.0 and self.duplicate_rate == 0.0
-                and not self.partitions)
+                and not self.partitions
+                and (self.topology is None or self.topology.is_trivial))
 
     @property
     def effective_pre_gst_cap(self) -> int:
         return self.pre_gst_cap if self.pre_gst_cap is not None \
             else 3 * self.delta
+
+    @property
+    def trusted_send_round(self) -> Round:
+        """First *protocol* round whose sends are guaranteed to reach
+        every honest node before its next step.
+
+        A copy sent at protocol round ``p`` leaves at network round
+        ``p · Δ``; once that is at or past GST (and past every scheduled
+        partition's heal) the Δ clamp delivers it within the dilation
+        window, so a lock-step tally at round ``p + 1`` sees the *whole*
+        round-``p`` message complement.  GST-aware early-stopping
+        protocols (``docs/PROTOCOLS.md``) gate their unanimity detectors
+        on this round: an apparently unanimous round observed earlier may
+        be an artifact of pre-GST drops or an unhealed partition, and
+        acting on it is unsound."""
+        stable_from = self.gst
+        for partition in self.partitions:
+            stable_from = max(stable_from, partition.end)
+        if stable_from <= 0:
+            return 0
+        return -(-stable_from // self.delta)  # ceil division
 
     def describe(self) -> str:
         """A short scalar label for tables and artifact rows."""
@@ -229,6 +415,8 @@ class NetworkConditions:
             parts.append(f"dup={self.duplicate_rate}")
         if self.partitions:
             parts.append(f"partitions={len(self.partitions)}")
+        if self.topology is not None and not self.topology.is_trivial:
+            parts.append(f"topology={self.topology.describe()}")
         return " ".join(parts)
 
     def draw_latency(self, rng: random.Random) -> int:
@@ -333,6 +521,8 @@ class ConditionedNetwork(SynchronousNetwork):
     def __init__(self, n: int, conditions: NetworkConditions,
                  seed: Seed = 0, retain_transcript: bool = True) -> None:
         super().__init__(n, retain_transcript=retain_transcript)
+        if conditions.topology is not None:
+            conditions.topology.check_n(n)
         self.conditions = conditions
         self.stats = NetworkStats()
         self._rng = derive_rng(seed, "network-conditions")
@@ -367,7 +557,14 @@ class ConditionedNetwork(SynchronousNetwork):
         conditions = self.conditions
         cap = (conditions.delta if sent_round >= conditions.gst
                else conditions.effective_pre_gst_cap)
-        base = min(conditions.draw_latency(self._rng), cap)
+        base = conditions.draw_latency(self._rng)
+        if conditions.topology is not None:
+            # The per-link surcharge is a pure function of the pair (no
+            # coins), so the RNG stream — and with it every drop and
+            # jitter draw — is identical with and without a topology.
+            base += conditions.topology.link_extra(
+                envelope.sender, recipient, self.n)
+        base = min(base, cap)
         extra = (self._extra_delay.get((envelope.envelope_id, recipient), 0)
                  + self._extra_delay.get((envelope.envelope_id, None), 0))
         if not extra:

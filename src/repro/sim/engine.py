@@ -227,4 +227,5 @@ class Simulation:
             transcript=list(self.network.transcript),
             transcript_retained=self.network.retain_transcript,
             network_stats=getattr(self.network, "stats", None),
+            rounds_budget=self.max_rounds,
         )

@@ -43,6 +43,22 @@ class ExecutionResult:
     #: ran under nontrivial :class:`~repro.sim.conditions.NetworkConditions`
     #: (None under perfect synchrony — the fast path records nothing).
     network_stats: Optional[NetworkStats] = None
+    #: The engine's round budget (``max_rounds``, in protocol rounds).
+    #: ``rounds_saved`` compares ``rounds_executed`` against it — the
+    #: measurable payoff of early-stopping protocol variants.
+    rounds_budget: Optional[Round] = None
+
+    @property
+    def rounds_saved(self) -> int:
+        """Protocol rounds the execution finished under its budget.
+
+        Zero for executions that ran the full budget (fixed-budget
+        protocols such as phase-king always do, unless an early-stopping
+        variant detects a certified round first) and for results recorded
+        before the budget was tracked."""
+        if self.rounds_budget is None:
+            return 0
+        return max(0, self.rounds_budget - self.rounds_executed)
 
     def require_transcript(self) -> List[Envelope]:
         """The transcript, refusing to hand back a discarded one.

@@ -1,0 +1,231 @@
+"""Per-link latency topologies (docs/NETWORK.md, "Topologies")."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.runner import run_instance
+from repro.harness.scenarios import ScenarioSpec, SweepSpec, run_sweep
+from repro.protocols import build_quadratic_ba
+from repro.sim.conditions import (
+    NETWORKS,
+    TOPOLOGIES,
+    LinkTopology,
+    NetworkConditions,
+    Partition,
+)
+
+
+class TestLinkTopologyShapes:
+    def test_uniform_is_free_everywhere(self):
+        topology = LinkTopology.uniform()
+        assert topology.is_trivial
+        assert all(topology.link_extra(s, r, 12) == 0
+                   for s in range(12) for r in range(12) if s != r)
+
+    def test_clustered_charges_cross_cluster_links_only(self):
+        topology = LinkTopology.clustered(clusters=4, extra=2)
+        n = 16  # clusters are contiguous blocks of 4
+        assert topology.link_extra(0, 3, n) == 0
+        assert topology.link_extra(0, 4, n) == 2
+        assert topology.link_extra(15, 12, n) == 0
+        assert topology.link_extra(15, 0, n) == 2
+
+    def test_star_spares_hub_links(self):
+        topology = LinkTopology.star(hub=2, extra=3)
+        assert topology.link_extra(2, 7, 10) == 0
+        assert topology.link_extra(7, 2, 10) == 0
+        assert topology.link_extra(5, 7, 10) == 3
+
+    def test_ring_charges_per_extra_hop_shorter_arc(self):
+        topology = LinkTopology.ring(extra=1)
+        n = 10
+        assert topology.link_extra(0, 1, n) == 0   # neighbours
+        assert topology.link_extra(0, 9, n) == 0   # wrap-around neighbour
+        assert topology.link_extra(0, 3, n) == 2
+        assert topology.link_extra(0, 5, n) == 4   # antipode
+        assert topology.link_extra(8, 1, n) == 2   # shorter arc wraps
+
+    def test_matrix_is_explicit_and_size_checked(self):
+        topology = LinkTopology.from_matrix(
+            [[0, 5, 0], [1, 0, 0], [0, 0, 0]])
+        assert topology.link_extra(0, 1, 3) == 5
+        assert topology.link_extra(1, 0, 3) == 1
+        topology.check_n(3)
+        with pytest.raises(ConfigurationError):
+            topology.check_n(4)
+        with pytest.raises(ConfigurationError):
+            LinkTopology.from_matrix([[0, 1], [1, 0, 0]])
+
+    def test_validation_rejects_nonsense(self):
+        with pytest.raises(ConfigurationError):
+            LinkTopology(kind="mesh")
+        with pytest.raises(ConfigurationError):
+            LinkTopology(kind="clustered", clusters=1)
+        with pytest.raises(ConfigurationError):
+            LinkTopology(kind="star", extra=-1)
+
+    def test_presets_are_registered_and_n_independent(self):
+        assert set(TOPOLOGIES) == {"uniform", "clustered", "star", "ring"}
+        assert TOPOLOGIES["uniform"].is_trivial
+        for name in ("clustered", "star", "ring"):
+            assert not TOPOLOGIES[name].is_trivial
+            TOPOLOGIES[name].check_n(8)
+            TOPOLOGIES[name].check_n(512)
+
+
+class TestConditionsIntegration:
+    def test_trivial_topology_keeps_perfect_normalization(self):
+        conditions = NetworkConditions(topology=LinkTopology.uniform())
+        assert conditions.is_perfect
+        result = run_instance(
+            build_quadratic_ba(9, 4, [1] * 9, seed=1), 4, seed=1,
+            conditions=conditions)
+        assert result.network_stats is None  # lock-step fast path
+
+    def test_nontrivial_topology_requires_delta_headroom(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConditions(topology=TOPOLOGIES["clustered"])
+
+    def test_describe_mentions_topology(self):
+        conditions = NetworkConditions(
+            delta=4, latency=("uniform", 1, 4),
+            topology=TOPOLOGIES["clustered"])
+        assert "topology=clustered(4,+2)" in conditions.describe()
+
+    def test_matrix_topology_validated_against_network_size(self):
+        conditions = NetworkConditions(
+            delta=4, topology=LinkTopology.from_matrix(
+                [[0] * 4 for _ in range(4)][:3] + [[0, 0, 0, 9]]))
+        with pytest.raises(ConfigurationError):
+            run_instance(build_quadratic_ba(9, 4, [1] * 9, seed=1), 4,
+                         seed=1, conditions=conditions)
+
+    def test_trusted_send_round(self):
+        assert NetworkConditions.perfect().trusted_send_round == 0
+        assert NetworkConditions.uniform(delta=3).trusted_send_round == 0
+        assert NetworkConditions(
+            delta=3, gst=12, latency=("uniform", 1, 3),
+            drop_rate=0.1).trusted_send_round == 4
+        assert NetworkConditions(
+            delta=2, latency=("uniform", 1, 2),
+            partitions=(Partition(start=2, end=10, split=0.5),),
+        ).trusted_send_round == 5
+        # The later of GST and the last heal wins.
+        assert NetworkConditions(
+            delta=2, gst=16, latency=("uniform", 1, 2), drop_rate=0.1,
+            partitions=(Partition(start=2, end=10, split=0.5),),
+        ).trusted_send_round == 8
+
+    def test_topology_shapes_latency_deterministically(self):
+        """Same seed, same jitter stream: the clustered run's mean copy
+        latency strictly dominates the uniform run's, and both replay
+        byte-identically."""
+        def run(topology):
+            conditions = NetworkConditions(
+                delta=4, latency=("uniform", 1, 2), topology=topology)
+            return run_instance(
+                build_quadratic_ba(12, 5, [i % 2 for i in range(12)],
+                                   seed=9),
+                5, seed=9, conditions=conditions)
+
+        uniform = run(None)
+        clustered = run(TOPOLOGIES["clustered"])
+        replay = run(TOPOLOGIES["clustered"])
+        assert clustered.consistent() and clustered.agreement_valid()
+        assert (clustered.network_stats.mean_delivery_latency
+                > uniform.network_stats.mean_delivery_latency)
+        assert (clustered.network_stats.mean_delivery_latency
+                == replay.network_stats.mean_delivery_latency)
+        assert clustered.outputs == replay.outputs
+        # Surcharges never add or remove copies.
+        assert (clustered.network_stats.delivered_copies
+                == uniform.network_stats.delivered_copies)
+
+
+class TestScenarioBinding:
+    def test_topology_grid_axis_resolves_and_labels_rows(self):
+        spec = ScenarioSpec(
+            name="quadratic", protocol="quadratic",
+            grid={"topology": ("uniform", "clustered")},
+            fixed={"n": 9, "f": 2, "network": "lan"},
+            inputs="ones", seeds=(0,))
+        cells = spec.cells()
+        assert [dict(cell.bindings)["topology"] for cell in cells] \
+            == ["uniform", "clustered"]
+        assert cells[0].network.topology is None or \
+            cells[0].network.topology.is_trivial
+        assert cells[1].network.topology.kind == "clustered"
+
+    def test_inline_link_topology_value_binds(self):
+        spec = ScenarioSpec(
+            name="quadratic", protocol="quadratic",
+            fixed={"n": 9, "f": 2, "network": "wan",
+                   "topology": LinkTopology.star(hub=1, extra=3)},
+            inputs="ones", seeds=(0,))
+        (cell,) = spec.cells()
+        assert cell.network.topology.hub == 1
+        assert dict(cell.bindings)["topology"] == "star(hub=1,+3)"
+
+    def test_uniform_binding_strips_baked_in_topology(self):
+        """One inline conditions object can back a whole topology axis:
+        the 'uniform' point must override (strip) the baked-in topology,
+        not silently keep it while the row says uniform."""
+        baked = NetworkConditions(
+            delta=4, latency=("uniform", 1, 4),
+            topology=LinkTopology.star(hub=0, extra=2))
+        spec = ScenarioSpec(
+            name="quadratic", protocol="quadratic",
+            grid={"topology": ("uniform", "clustered")},
+            fixed={"n": 9, "f": 2, "network": baked},
+            inputs="ones", seeds=(0,))
+        uniform_cell, clustered_cell = spec.cells()
+        assert uniform_cell.network.topology is None
+        assert clustered_cell.network.topology.kind == "clustered"
+
+    def test_forced_topology_spans_perfect_cells(self):
+        """A topology forced across a grid that includes a perfect cell
+        leaves that cell lock-step (surcharges clamp away at delta=1)
+        instead of aborting the sweep."""
+        spec = ScenarioSpec(
+            name="quadratic", protocol="quadratic",
+            grid={"network": ("perfect", "lan")},
+            fixed={"n": 9, "f": 2, "topology": "clustered"},
+            inputs="ones", seeds=(0,))
+        perfect_cell, lan_cell = spec.cells()
+        assert perfect_cell.network is None  # lock-step fast path
+        assert lan_cell.network.topology.kind == "clustered"
+        assert dict(perfect_cell.bindings)["topology"] == "clustered"
+
+    def test_nontrivial_topology_without_network_is_rejected(self):
+        spec = ScenarioSpec(
+            name="quadratic", protocol="quadratic",
+            fixed={"n": 9, "f": 2, "topology": "clustered"},
+            inputs="ones", seeds=(0,))
+        with pytest.raises(ConfigurationError):
+            spec.cells()
+
+    def test_unknown_topology_name_is_rejected(self):
+        spec = ScenarioSpec(
+            name="quadratic", protocol="quadratic",
+            fixed={"n": 9, "f": 2, "network": "lan", "topology": "mesh"},
+            inputs="ones", seeds=(0,))
+        with pytest.raises(ConfigurationError):
+            spec.cells()
+
+    def test_topology_grid_sweep_runs_and_orders_latency(self):
+        result = run_sweep(
+            SweepSpec(
+                name="mini-topology",
+                scenarios=(
+                    ScenarioSpec(
+                        name="quadratic", protocol="quadratic",
+                        grid={"topology": ("uniform", "clustered")},
+                        fixed={"n": 12, "f": 2, "network": "wan"},
+                        inputs="mixed", seeds=range(2)),
+                ),
+            ))
+        uniform_row, clustered_row = [cell.row() for cell in result.cells]
+        assert uniform_row["violation_rate"] == 0.0
+        assert clustered_row["violation_rate"] == 0.0
+        assert (clustered_row["mean_delivery_latency"]
+                > uniform_row["mean_delivery_latency"])
