@@ -35,11 +35,16 @@ SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
 REQUIRED_LINKS = (
     ("README.md", "docs/PROTOCOLS.md"),
     ("README.md", "docs/ARCHITECTURE.md"),
+    ("README.md", "docs/RESULTS.md"),
     ("docs/ARCHITECTURE.md", "docs/PROTOCOLS.md"),
+    ("docs/ARCHITECTURE.md", "docs/RESULTS.md"),
     ("docs/NETWORK.md", "docs/PROTOCOLS.md"),
     ("docs/SCENARIOS.md", "docs/PROTOCOLS.md"),
+    ("docs/SCENARIOS.md", "docs/RESULTS.md"),
     ("docs/PROTOCOLS.md", "docs/NETWORK.md"),
     ("docs/PROTOCOLS.md", "docs/SCENARIOS.md"),
+    ("docs/RESULTS.md", "docs/SCENARIOS.md"),
+    ("docs/RESULTS.md", "docs/PERFORMANCE.md"),
 )
 
 

@@ -179,6 +179,56 @@ def profile_sweep(name: str = "adversary-grid") -> dict:
     }
 
 
+def profile_store(name: str = "smoke") -> dict:
+    """The experiment store pays for itself: one named sweep cold
+    (computing and recording every cell) versus warm (replaying every
+    cell), differentially asserting that cached replay is identical to
+    fresh compute — rows, rendered table, and a storeless reference run.
+    """
+    import shutil
+    import tempfile
+
+    from repro.harness.scenarios import run_sweep
+    from repro.harness.store import ExperimentStore
+    from repro.harness.sweep_library import SWEEPS
+
+    sweep = SWEEPS[name]
+    tmp = tempfile.mkdtemp(prefix="repro-store-bench-")
+    try:
+        store = ExperimentStore(tmp)
+        start = time.perf_counter()
+        fresh = run_sweep(sweep)
+        fresh_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        cold = run_sweep(sweep, store=store)
+        cold_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_sweep(sweep, store=store)
+        warm_wall = time.perf_counter() - start
+        cells = len(warm.cells)
+        assert warm.store_stats["computed"] == 0, \
+            "warm store run recomputed cells"
+        assert warm.store_stats["replayed"] == cells, \
+            "warm store run missed recorded cells"
+        assert fresh.rows() == cold.rows() == warm.rows(), \
+            "store replay diverged from fresh compute"
+        assert (fresh.to_table().render() == cold.to_table().render()
+                == warm.to_table().render()), \
+            "store replay rendered a different table"
+        return {
+            "sweep": name,
+            "cells": cells,
+            "hit_rate_warm": 1.0,
+            "wall_seconds_no_store": round(fresh_wall, 4),
+            "wall_seconds_cold": round(cold_wall, 4),
+            "wall_seconds_warm": round(warm_wall, 4),
+            "replay_speedup": round(cold_wall / warm_wall, 1)
+            if warm_wall else None,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -192,6 +242,7 @@ def main() -> None:
         "sweep-adversary-grid": profile_sweep("adversary-grid"),
         "network-fast-path-n96": profile_network_fast_path(96, 47),
         "early-stop-n96-lan": profile_early_stop(96, 31),
+        "store-replay-smoke": profile_store("smoke"),
     }
     for name, profile in profiles.items():
         baseline = SEED_BASELINE.get(name, {})
@@ -211,7 +262,12 @@ def main() -> None:
     output.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {output}")
     for name, profile in profiles.items():
-        if "sweep" in profile:
+        if "hit_rate_warm" in profile:
+            print(f"  {name}: warm replay {profile['wall_seconds_warm']}s "
+                  f"vs cold {profile['wall_seconds_cold']}s over "
+                  f"{profile['cells']} cells "
+                  f"({profile['replay_speedup']}x, 100% hits)")
+        elif "sweep" in profile:
             print(f"  {name}: {profile['wall_seconds_shared']}s wall "
                   f"(shared lottery; {profile['wall_seconds_unshared']}s "
                   f"unshared), {profile['lottery_hits']}/"

@@ -1,22 +1,36 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands
---------
-``experiment`` — run one of the E1–E12 experiment tables::
+Commands (the parser epilog enumerates the live registries — the
+authoritative lists of experiments, sweeps, and protocols — so nothing
+here goes stale when a registry grows)
+
+``experiment`` — run one of the experiment tables::
 
     python -m repro experiment E3
 
 ``sweep`` — run a named scenario-matrix sweep (``--list`` to see them),
-optionally fanning trials across worker processes and exporting CSV/JSON
-artifacts (see ``docs/SCENARIOS.md``)::
+optionally fanning trials across worker processes, exporting CSV/JSON
+artifacts (see ``docs/SCENARIOS.md``), and recording cells into a
+persistent experiment store for incremental re-runs, ``--resume`` after
+interruption, and ``--shard K/M`` multi-invocation fan-out (see
+``docs/RESULTS.md``)::
 
     python -m repro sweep comm-vs-n --workers 4 --out-dir artifacts
+    python -m repro sweep comm-vs-n --store .repro-store
+    python -m repro sweep comm-vs-n --resume
+    python -m repro sweep comm-vs-n --store shared --shard 2/4
+
+``report`` — render the results book (provenance header + one table
+section per recorded sweep, with deltas against a previous snapshot)
+from an experiment store (see ``docs/RESULTS.md``)::
+
+    python -m repro report --store .repro-store
+    python -m repro report --format html --baseline old/book.json
 
 ``run`` — execute one protocol instance and print its result summary,
 optionally under named partial-synchrony network conditions and a
 per-link latency topology (see ``docs/NETWORK.md``); the GST-aware
-early-stopping variants (``quadratic-early-stop``,
-``phase-king-early-stop``, see ``docs/PROTOCOLS.md``) additionally
+early-stopping variants (see ``docs/PROTOCOLS.md``) additionally
 report the rounds saved against their budget::
 
     python -m repro run --protocol subquadratic -n 300 -f 90 \\
@@ -44,34 +58,36 @@ from repro.analysis import choose_lambda
 from repro.analysis.parameters import protocol_failure_probability
 from repro.harness import run_instance
 from repro.harness.experiments import ALL_EXPERIMENTS
-from repro.protocols import (
-    build_phase_king,
-    build_phase_king_early_stop,
-    build_phase_king_subquadratic,
-    build_quadratic_ba,
-    build_quadratic_ba_early_stop,
-    build_static_committee,
-    build_subquadratic_ba,
-)
+from repro.harness.scenarios import PROTOCOLS as PROTOCOL_REGISTRY
 from repro.errors import ConfigurationError
 from repro.sim.conditions import NETWORKS, TOPOLOGIES
 from repro.sim.trace import summarize_transcript
 from repro.types import SecurityParameters
 
+#: ``run``-able protocols, derived from the scenario layer's registry
+#: rather than hand-maintained: every per-node builder registered there
+#: is automatically runnable here (sender-style broadcast builders need
+#: a ``sender_input`` binding and stay sweep-only).
 PROTOCOLS = {
-    "subquadratic": build_subquadratic_ba,
-    "quadratic": build_quadratic_ba,
-    "quadratic-early-stop": build_quadratic_ba_early_stop,
-    "phase-king": build_phase_king,
-    "phase-king-early-stop": build_phase_king_early_stop,
-    "phase-king-subquadratic": build_phase_king_subquadratic,
-    "static-committee": build_static_committee,
+    key: entry.builder for key, entry in PROTOCOL_REGISTRY.items()
+    if entry.input_style == "per-node"
 }
 
 #: GST-aware variants whose builders take the execution's conditions
-#: (to derive the trusted-round gate) and whose runs report the saving.
+#: (to derive the trusted-round gate) and whose runs report the saving —
+#: read off the registry's ``early_stopping`` flag.
 EARLY_STOP_PROTOCOLS = frozenset(
-    {"quadratic-early-stop", "phase-king-early-stop"})
+    key for key, entry in PROTOCOL_REGISTRY.items() if entry.early_stopping)
+
+#: Protocols whose builders take ``params=SecurityParameters(...)``.
+_PARAMS_PROTOCOLS = frozenset(
+    key for key, entry in PROTOCOL_REGISTRY.items() if entry.accepts_params)
+
+#: Protocols whose builders take ``mode="fmine"|"vrf"`` — read off the
+#: registry's ``takes_mode`` flag so an explicit ``--mode`` is never
+#: silently dropped for a registry protocol that accepts it.
+_MODE_PROTOCOLS = frozenset(
+    key for key, entry in PROTOCOL_REGISTRY.items() if entry.takes_mode)
 
 ADVERSARIES = {
     "none": lambda instance: None,
@@ -81,14 +97,29 @@ ADVERSARIES = {
 }
 
 
+def _epilog() -> str:
+    """The command summary, regenerated from the live registries so new
+    experiments/sweeps/protocols can never be silently missing (parity
+    is asserted in tests/test_cli_and_trace.py)."""
+    from repro.harness.sweep_library import SWEEPS
+
+    last_experiment = max(int(name[1:]) for name in ALL_EXPERIMENTS)
+    return (
+        f"commands: experiment (E1..E{last_experiment} tables), "
+        f"sweep (scenario-matrix sweeps: {', '.join(sorted(SWEEPS))}; "
+        "see docs/SCENARIOS.md), "
+        "report (results book from an experiment store; see "
+        "docs/RESULTS.md), "
+        f"run (one execution; protocols: {', '.join(sorted(PROTOCOLS))}), "
+        "params (λ selection)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Communication Complexity of "
                     "Byzantine Agreement, Revisited' (PODC 2019)",
-        epilog="commands: experiment (E1..E12 tables), sweep (named "
-               "scenario-matrix sweeps; see docs/SCENARIOS.md), run "
-               "(one execution), params (λ selection)")
+        epilog=_epilog())
     sub = parser.add_subparsers(dest="command", required=True)
 
     exp = sub.add_parser("experiment", help="run an experiment table")
@@ -118,6 +149,35 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="force this per-link latency topology onto "
                             "every scenario (needs conditions with "
                             "delta > 1; see docs/NETWORK.md)")
+    sweep.add_argument("--store", default=None, metavar="DIR",
+                       help="record/replay cells through a persistent "
+                            "experiment store at DIR: recorded cells "
+                            "replay byte-identically, only new cells "
+                            "compute (see docs/RESULTS.md)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="shorthand for --store with the default "
+                            "store directory (.repro-store): resume an "
+                            "interrupted sweep, computing only the "
+                            "missing cells")
+    sweep.add_argument("--shard", default=None, metavar="K/M",
+                       help="compute only every M-th cell (1-based "
+                            "offset K) for coarse multi-invocation "
+                            "fan-out; combine with a shared --store so "
+                            "the shards union (see docs/RESULTS.md)")
+
+    rep = sub.add_parser(
+        "report", help="render a results book from an experiment store")
+    rep.add_argument("--store", default=None, metavar="DIR",
+                     help="experiment store to render (default: "
+                          ".repro-store)")
+    rep.add_argument("--out", default=None, metavar="PATH",
+                     help="output document path (default: "
+                          "<store>/book.md or book.html)")
+    rep.add_argument("--format", choices=["md", "html"], dest="fmt",
+                     default="md", help="document format")
+    rep.add_argument("--baseline", default=None, metavar="JSON",
+                     help="a previous book's .json snapshot; the book "
+                          "gains per-sweep deltas against it")
 
     run = sub.add_parser("run", help="run one protocol execution")
     run.add_argument("--protocol", choices=sorted(PROTOCOLS),
@@ -200,9 +260,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                       if axis not in forced},
                 fixed={**scenario.fixed, **forced})
             for scenario in sweep.scenarios))
+    store = None
+    if args.store is not None or args.resume:
+        from repro.harness.store import DEFAULT_STORE_DIR, ExperimentStore
+        store = ExperimentStore(args.store or DEFAULT_STORE_DIR)
+    if args.shard is not None and store is None:
+        # A shard alone writes partial artifacts in the full-artifact
+        # format; only a shared store makes the shards union.
+        print("sweep: --shard requires --store or --resume (shards "
+              "union through a shared store; see docs/RESULTS.md)",
+              file=sys.stderr)
+        return 2
     try:
+        shard = None
+        if args.shard is not None:
+            from repro.harness.store import parse_shard
+            shard = parse_shard(args.shard)
         result = run_sweep(sweep, workers=args.workers,
-                           share_lottery=not args.no_shared_lottery)
+                           share_lottery=not args.no_shared_lottery,
+                           store=store, shard=shard)
     except ConfigurationError as error:
         print(f"sweep: {error}", file=sys.stderr)
         return 2
@@ -213,12 +289,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # inside the worker processes, so the main process reads zero.
         print(f"\nshared lottery (main process): {lottery['coins']} coins, "
               f"{lottery['hits']} hits, {lottery['misses']} misses")
+    if result.store_stats is not None:
+        stats = result.store_stats
+        line = (f"\nstore: {stats['replayed']} replayed, "
+                f"{stats['computed']} computed, "
+                f"{stats['skipped']} skipped")
+        if store is not None:
+            line += f" (salt {stats['salt']}, dir {store.root})"
+        if stats["shard"] is not None:
+            line += f" [shard {stats['shard']}]"
+        print(line)
     if args.out_dir is not None:
         out_dir = Path(args.out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
         csv_path = result.to_csv(out_dir / f"{args.name}.csv")
         json_path = result.to_json(out_dir / f"{args.name}.json")
         print(f"wrote {csv_path} and {json_path}")
+        stats = result.store_stats
+        if stats is not None and stats["skipped"]:
+            # Partial artifacts are shaped exactly like complete ones;
+            # say so where the consumer will see it.
+            print(f"sweep: warning: artifacts are PARTIAL — "
+                  f"{stats['skipped']} cell(s) skipped by shard "
+                  f"{stats['shard']}; run the remaining shards against "
+                  "the same store and re-export", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report import write_book
+    from repro.harness.store import DEFAULT_STORE_DIR, ExperimentStore
+
+    store = ExperimentStore(args.store or DEFAULT_STORE_DIR)
+    if not store.root.exists():
+        print(f"report: no experiment store at {store.root} "
+              "(run a sweep with --store/--resume first)", file=sys.stderr)
+        return 2
+    try:
+        book, snapshot = write_book(store, out_path=args.out, fmt=args.fmt,
+                                    baseline_path=args.baseline)
+    except (OSError, ValueError) as error:
+        # A missing/unreadable --baseline path or malformed snapshot
+        # JSON (json.JSONDecodeError is a ValueError) is a usage error,
+        # not a crash.
+        print(f"report: {error}", file=sys.stderr)
+        return 2
+    sweeps = store.sweep_names()
+    print(f"wrote {book} and {snapshot} "
+          f"({len(sweeps)} sweep(s), {store.cell_count()} cell(s))")
     return 0
 
 
@@ -237,8 +355,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"run: {error}", file=sys.stderr)
             return 2
     kwargs = dict(n=n, f=f, inputs=_inputs_for(args.input, n), seed=args.seed)
-    if args.protocol in ("subquadratic", "phase-king-subquadratic"):
-        kwargs.update(params=params, mode=args.mode)
+    if args.protocol in _PARAMS_PROTOCOLS:
+        kwargs.update(params=params)
+    if args.protocol in _MODE_PROTOCOLS:
+        kwargs.update(mode=args.mode)
     if args.protocol in EARLY_STOP_PROTOCOLS:
         # The GST-aware builders gate their unanimity detectors on the
         # conditions' trusted-send round.
@@ -296,6 +416,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "params":

@@ -43,6 +43,13 @@ eligibility-lottery cache (:mod:`repro.eligibility.lottery_cache`)
 memoizes coins that are already a pure function of ``(seed, node,
 topic)`` — so a ``SweepResult``'s rows are identical with and without
 ``workers`` and with and without the cache.
+
+Persistence: ``run_sweep(store=...)`` consults a content-addressed
+:class:`~repro.harness.store.ExperimentStore` before executing each
+cell, replaying recorded cells byte-identically and recording fresh
+ones — which enables ``--resume`` after interruption, ``--shard K/M``
+fan-out across invocations, and incremental grid growth (see
+``docs/RESULTS.md``).
 """
 
 from __future__ import annotations
@@ -74,7 +81,7 @@ from repro.adversaries import (
 from repro.eligibility.lottery_cache import SharedLotteryCache, release_cache
 from repro.errors import ConfigurationError
 from repro.harness.runner import TrialStats, run_instance, run_trials
-from repro.harness.tables import Table
+from repro.harness.tables import Table, rows_to_table, union_columns
 from repro.sim.conditions import (
     NETWORKS,
     TOPOLOGIES,
@@ -115,6 +122,10 @@ class ProtocolEntry:
     #: Whether the builder accepts ``coin_cache=`` for the shared
     #: eligibility lottery (fmine mode only).
     shares_lottery: bool = False
+    #: Whether the builder accepts ``mode="fmine"|"vrf"`` (the
+    #: eligibility worlds) — consulted by the CLI so an explicit
+    #: ``--mode`` is never silently dropped.
+    takes_mode: bool = False
     #: GST-aware early-stopping variants: the builder accepts
     #: ``conditions=`` (to derive its trusted-round gate from the cell's
     #: network conditions) and the cell's artifact row gains a
@@ -124,7 +135,8 @@ class ProtocolEntry:
 
 PROTOCOLS: Dict[str, ProtocolEntry] = {
     "subquadratic": ProtocolEntry(
-        build_subquadratic_ba, accepts_params=True, shares_lottery=True),
+        build_subquadratic_ba, accepts_params=True, shares_lottery=True,
+        takes_mode=True),
     "quadratic": ProtocolEntry(build_quadratic_ba),
     "quadratic-early-stop": ProtocolEntry(
         build_quadratic_ba_early_stop, early_stopping=True),
@@ -133,10 +145,10 @@ PROTOCOLS: Dict[str, ProtocolEntry] = {
         build_phase_king_early_stop, early_stopping=True),
     "phase-king-subquadratic": ProtocolEntry(
         build_phase_king_subquadratic, accepts_params=True,
-        shares_lottery=True),
+        shares_lottery=True, takes_mode=True),
     "static-committee": ProtocolEntry(build_static_committee),
     "round-eligibility": ProtocolEntry(
-        build_round_eligibility, accepts_params=True),
+        build_round_eligibility, accepts_params=True, takes_mode=True),
     "dolev-strong": ProtocolEntry(build_dolev_strong, input_style="sender"),
     "naive-broadcast": ProtocolEntry(
         build_naive_broadcast, input_style="sender"),
@@ -756,6 +768,20 @@ EXECUTORS: Dict[str, Executor] = {
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class CachedCellPayload:
+    """Placeholder payload for a cell replayed from an experiment store.
+
+    Store records keep metrics only — transcripts, per-trial results,
+    and :class:`TrialStats` are never persisted — so a replayed cell
+    refuses payload access the same way a metrics-only transcript
+    (``transcript_retained=False``) refuses replay and invariant checks:
+    loudly, instead of handing back fabricated data.
+    """
+
+    fingerprint: str
+
+
 @dataclass
 class CellResult:
     """One executed cell: the raw payload plus its flat metrics row.
@@ -763,15 +789,29 @@ class CellResult:
     ``payload`` keeps the executor's native result (a
     :class:`TrialStats`, an attack report, per-seed records) so table
     code can reach per-trial data; ``metrics`` holds only scalars and is
-    what artifacts serialize.
+    what artifacts serialize.  Cells replayed from an experiment store
+    carry a :class:`CachedCellPayload` instead (``cached=True``) and
+    refuse payload access.
     """
 
     cell: Cell
     payload: Any
     metrics: Dict[str, Any]
+    #: Store fingerprint of the cell, when a store was consulted.
+    fingerprint: Optional[str] = None
+    #: Whether the metrics were replayed from a store rather than
+    #: computed by this invocation.
+    cached: bool = False
 
     @property
     def stats(self) -> TrialStats:
+        if isinstance(self.payload, CachedCellPayload):
+            raise TypeError(
+                f"cell {self.cell.label()!r} was replayed from the "
+                f"experiment store (fingerprint "
+                f"{self.payload.fingerprint[:12]}); stored records keep "
+                "metrics only — re-run without the store, or bump the "
+                "store salt, for TrialStats/transcript access")
         if not isinstance(self.payload, TrialStats):
             raise TypeError(
                 f"cell {self.cell.label()!r} ran executor "
@@ -801,6 +841,11 @@ class SweepResult:
     name: str
     cells: List[CellResult]
     lottery: Optional[Dict[str, Any]] = None
+    #: Replay/compute accounting when a store or shard was in play:
+    #: ``{"replayed": R, "computed": C, "skipped": S, "salt": ...,
+    #: "shard": "K/M" | None}``.  Not serialized into artifacts (a warm
+    #: replay must emit byte-identical CSV/JSON).
+    store_stats: Optional[Dict[str, Any]] = None
 
     def rows(self) -> List[Dict[str, Any]]:
         """Flat, JSON-safe rows — one per cell, deterministic order."""
@@ -812,16 +857,7 @@ class SweepResult:
 
     def to_table(self, title: Optional[str] = None) -> Table:
         """Render the rows as an aligned table (union of row columns)."""
-        rows = self.rows()
-        columns: List[str] = []
-        for row in rows:
-            for key in row:
-                if key not in columns:
-                    columns.append(key)
-        table = Table(title or f"sweep {self.name}", columns)
-        for row in rows:
-            table.add_row(*(row.get(column, "-") for column in columns))
-        return table
+        return rows_to_table(title or f"sweep {self.name}", self.rows())
 
     def to_json(self, path) -> Path:
         path = Path(path)
@@ -836,11 +872,7 @@ class SweepResult:
     def to_csv(self, path) -> Path:
         path = Path(path)
         rows = self.rows()
-        columns: List[str] = []
-        for row in rows:
-            for key in row:
-                if key not in columns:
-                    columns.append(key)
+        columns = union_columns(rows)
         with path.open("w", newline="") as handle:
             writer = csv.DictWriter(handle, fieldnames=columns,
                                     restval="")
@@ -859,7 +891,9 @@ _SWEEP_IDS = itertools.count()
 
 
 def run_sweep(sweep: SweepSpec, workers: int = 1,
-              share_lottery: bool = True) -> SweepResult:
+              share_lottery: bool = True,
+              store=None,
+              shard: Optional[Tuple[int, int]] = None) -> SweepResult:
     """Expand and execute every cell of ``sweep``.
 
     ``workers > 1`` fans each cell's seeds across processes via
@@ -869,7 +903,27 @@ def run_sweep(sweep: SweepSpec, workers: int = 1,
     coins are computed once per ``(seed, node, topic)`` across all cells
     that share them (identical coins either way — the cache memoizes a
     pure function).
+
+    ``store`` (a :class:`~repro.harness.store.ExperimentStore`) makes
+    the sweep incremental: each cell's fingerprint is looked up before
+    execution, recorded cells are replayed byte-identically (as
+    :class:`CachedCellPayload` cells carrying the stored metrics), and
+    freshly computed cells are recorded.  Store-backed results report
+    no lottery counters — replayed cells draw no coins, so the counters
+    would vary between cold and warm runs while the artifacts must not.
+
+    ``shard=(k, m)`` (1-based) restricts *computation* to cells whose
+    expansion index ``i`` satisfies ``i % m == k - 1``; other cells are
+    still replayed when the store has them, and silently skipped (and
+    counted in ``store_stats["skipped"]``) when it does not — so M
+    shard invocations against one shared store union into the full
+    sweep, and the last one returns (and records) the complete result.
     """
+    if shard is not None:
+        shard_index, shard_count = shard
+        if shard_count < 1 or not 1 <= shard_index <= shard_count:
+            raise ConfigurationError(
+                f"shard (k, m) needs 1 <= k <= m, got {shard!r}")
     cache: Optional[SharedLotteryCache] = None
     if share_lottery:
         cache = SharedLotteryCache(
@@ -884,22 +938,82 @@ def run_sweep(sweep: SweepSpec, workers: int = 1,
         pool = ProcessPoolExecutor(max_workers=workers)
     try:
         results = []
-        for cell in sweep.expand():
+        all_fingerprints: List[str] = []
+        all_rows: List[Optional[Dict[str, Any]]] = []
+        replayed = computed = skipped = 0
+        for index, cell in enumerate(sweep.expand()):
+            fingerprint = None
+            if store is not None:
+                fingerprint = store.fingerprint(
+                    cell, share_lottery=share_lottery)
+                all_fingerprints.append(fingerprint)
+                record = store.load_record(fingerprint)
+                if record is not None:
+                    # Replay: the stored metrics dict round-trips JSON
+                    # exactly (scalars only, insertion order kept), so
+                    # rows/tables/artifacts are byte-identical to the
+                    # recorded fresh execution.  The row is recomposed
+                    # from the *live* cell, so display metadata
+                    # (scenario names, binding labels — outside the
+                    # fingerprint) always tracks the current spec.
+                    result = CellResult(
+                        cell=cell,
+                        payload=CachedCellPayload(fingerprint=fingerprint),
+                        metrics=dict(record["metrics"]),
+                        fingerprint=fingerprint,
+                        cached=True)
+                    results.append(result)
+                    all_rows.append(result.row())
+                    replayed += 1
+                    continue
+            if shard is not None and index % shard_count != shard_index - 1:
+                skipped += 1
+                if store is not None:
+                    all_rows.append(None)
+                continue
             payload, metrics = EXECUTORS[cell.executor].run(
                 cell, workers, cache, pool=pool)
-            results.append(CellResult(cell=cell, payload=payload,
-                                      metrics=metrics))
+            result = CellResult(cell=cell, payload=payload,
+                                metrics=metrics, fingerprint=fingerprint)
+            results.append(result)
+            computed += 1
+            if store is not None:
+                all_rows.append(result.row())
+                store.save_result(fingerprint, sweep.name, result,
+                                  share_lottery=share_lottery)
         lottery = None
-        if cache is not None:
+        if cache is not None and store is None:
             # Counters are process-local: with a worker pool the coins
             # are drawn inside the workers, so say so in the artifact
-            # rather than persisting misleading zeros.
+            # rather than persisting misleading zeros.  Store-backed
+            # runs omit the counters entirely: a warm replay draws no
+            # coins, and its artifacts must be byte-identical to the
+            # cold run's.
             lottery = dict(cache.stats())
             lottery["scope"] = ("main-process counters only; coins were "
                                 "drawn in worker processes"
                                 if pool is not None else "main process")
+        store_stats = None
+        if store is not None or shard is not None:
+            store_stats = {
+                "replayed": replayed,
+                "computed": computed,
+                "skipped": skipped,
+                "salt": store.salt if store is not None else None,
+                "shard": (f"{shard[0]}/{shard[1]}"
+                          if shard is not None else None),
+            }
+        if store is not None:
+            # The record lists the *full* expansion (including any
+            # shard-skipped cells, as row-less holes) so concurrent
+            # shards write equivalent records and the book sections the
+            # whole sweep once the cell records exist.
+            store.record_sweep(
+                sweep.name, sweep.description, all_fingerprints,
+                complete=(skipped == 0), rows=all_rows)
         return SweepResult(
-            name=sweep.name, cells=results, lottery=lottery)
+            name=sweep.name, cells=results, lottery=lottery,
+            store_stats=store_stats)
     finally:
         if pool is not None:
             pool.shutdown()

@@ -42,6 +42,11 @@ motivates directly:
 Run one with::
 
     PYTHONPATH=src python -m repro sweep comm-vs-n --workers 4
+
+Add ``--store DIR`` (or ``--resume``) to record cells into a persistent
+experiment store — re-runs replay recorded cells byte-identically and
+only compute new ones, and ``python -m repro report`` renders every
+recorded sweep as one results book (``docs/RESULTS.md``).
 """
 
 from __future__ import annotations
@@ -297,3 +302,9 @@ SWEEPS: Dict[str, SweepSpec] = {
                   LATENCY_STRESS, PARTITION_HEAL, EARLY_STOP_VS_DELTA,
                   TOPOLOGY_GRID, SMOKE)
 }
+
+#: Canonical presentation order (registration order above): the results
+#: book (``harness/report.py``) sections known sweeps this way, so the
+#: book reads headline-first regardless of store directory listing
+#: order; sweeps not in the library sort alphabetically after.
+SWEEP_ORDER = tuple(SWEEPS)

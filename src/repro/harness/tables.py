@@ -17,6 +17,33 @@ def _format_cell(value: Any) -> str:
     return str(value)
 
 
+def union_columns(rows: Sequence[dict]) -> List[str]:
+    """The union of row keys in first-seen order — the one column-order
+    rule for every artifact surface (tables, CSV, the results book)."""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def rows_to_table(title: str, rows: Sequence[dict]) -> "Table":
+    """Build a :class:`Table` from flat row dicts.
+
+    Columns come from :func:`union_columns`; missing values render as
+    ``-``.  Both ``SweepResult.to_table`` and the results-book
+    generator (``harness/report.py``) build their tables here, so a
+    book rendered from stored rows matches the live sweep table
+    exactly.
+    """
+    columns = union_columns(rows)
+    table = Table(title, columns)
+    for row in rows:
+        table.add_row(*(row.get(column, "-") for column in columns))
+    return table
+
+
 class Table:
     """An aligned fixed-column table with a title."""
 

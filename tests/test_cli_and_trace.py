@@ -94,3 +94,172 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRegistryParity:
+    """The CLI surfaces are regenerated from the live registries — new
+    sweeps/protocols can never be silently missing from them again."""
+
+    def test_epilog_names_every_sweep_and_runnable_protocol(self):
+        from repro.cli import PROTOCOLS, _epilog
+        from repro.harness.experiments import ALL_EXPERIMENTS
+        from repro.harness.sweep_library import SWEEPS
+
+        epilog = _epilog()
+        for name in SWEEPS:
+            assert name in epilog, f"sweep {name} missing from epilog"
+        for name in PROTOCOLS:
+            assert name in epilog, f"protocol {name} missing from epilog"
+        last = max(int(name[1:]) for name in ALL_EXPERIMENTS)
+        assert f"E1..E{last}" in epilog
+        assert "report" in epilog
+
+    def test_sweep_list_matches_registry_exactly(self, capsys):
+        from repro.harness.sweep_library import SWEEPS
+
+        assert main(["sweep", "--list"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [line.split()[0] for line in lines] == sorted(SWEEPS)
+
+    def test_run_protocols_derived_from_scenario_registry(self):
+        from repro.cli import EARLY_STOP_PROTOCOLS, PROTOCOLS
+        from repro.harness.scenarios import PROTOCOLS as REGISTRY
+
+        assert set(PROTOCOLS) == {
+            key for key, entry in REGISTRY.items()
+            if entry.input_style == "per-node"}
+        for key, builder in PROTOCOLS.items():
+            assert builder is REGISTRY[key].builder
+        assert EARLY_STOP_PROTOCOLS == {
+            key for key, entry in REGISTRY.items() if entry.early_stopping}
+
+    def test_mode_flag_reaches_every_mode_taking_protocol(self):
+        # --mode must never be silently dropped: the CLI forwards it to
+        # exactly the registry protocols flagged takes_mode (including
+        # round-eligibility, which takes mode but shares no lottery).
+        from repro.cli import _MODE_PROTOCOLS
+        from repro.harness.scenarios import PROTOCOLS as REGISTRY
+
+        assert _MODE_PROTOCOLS == {
+            key for key, entry in REGISTRY.items() if entry.takes_mode}
+        assert "round-eligibility" in _MODE_PROTOCOLS
+
+    def test_run_round_eligibility_vrf_mode(self, capsys):
+        code = main(["run", "--protocol", "round-eligibility", "-n", "13",
+                     "-f", "2", "--lam", "8", "--mode", "vrf",
+                     "--seed", "1"])
+        assert code == 0
+        assert "round-eligibility" in capsys.readouterr().out
+
+
+class TestCliStoreAndReport:
+    def _tiny(self):
+        from repro.harness.scenarios import ScenarioSpec, SweepSpec
+
+        return SweepSpec(
+            name="tinycli",
+            description="CLI store-flow test sweep",
+            scenarios=(ScenarioSpec(
+                name="subq", protocol="subquadratic",
+                fixed={"n": 24, "f_fraction": 0.25, "lam": 10},
+                inputs="mixed", seeds=(0, 1)),))
+
+    def test_sweep_store_then_warm_replay_then_report(
+            self, capsys, tmp_path, monkeypatch):
+        from repro.harness.sweep_library import SWEEPS
+
+        monkeypatch.setitem(SWEEPS, "tinycli", self._tiny())
+        store_dir = str(tmp_path / "store")
+        assert main(["sweep", "tinycli", "--store", store_dir]) == 0
+        cold = capsys.readouterr().out
+        assert "store: 0 replayed, 1 computed, 0 skipped" in cold
+        assert main(["sweep", "tinycli", "--store", store_dir]) == 0
+        warm = capsys.readouterr().out
+        assert "store: 1 replayed, 0 computed, 0 skipped" in warm
+        assert main(["report", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "book.md" in out and "book.json" in out
+        assert "1 sweep(s), 1 cell(s)" in out
+        assert "tinycli" in (tmp_path / "store" / "book.md").read_text()
+
+    def test_sweep_shard_flag(self, capsys, tmp_path, monkeypatch):
+        from repro.harness.sweep_library import SWEEPS
+
+        monkeypatch.setitem(SWEEPS, "tinycli", self._tiny())
+        store_dir = str(tmp_path / "store")
+        assert main(["sweep", "tinycli", "--store", store_dir,
+                     "--shard", "2/2"]) == 0
+        out = capsys.readouterr().out
+        assert "[shard 2/2]" in out
+
+    def test_partial_shard_artifacts_warn(self, capsys, tmp_path,
+                                          monkeypatch):
+        from repro.harness.scenarios import ScenarioSpec, SweepSpec
+        from repro.harness.sweep_library import SWEEPS
+
+        two_cells = SweepSpec(
+            name="tinycli",
+            scenarios=(ScenarioSpec(
+                name="subq", protocol="subquadratic",
+                grid={"n": (24, 32)},
+                fixed={"f_fraction": 0.25, "lam": 10},
+                inputs="mixed", seeds=(0,)),))
+        monkeypatch.setitem(SWEEPS, "tinycli", two_cells)
+        assert main(["sweep", "tinycli",
+                     "--store", str(tmp_path / "store"),
+                     "--shard", "1/2",
+                     "--out-dir", str(tmp_path / "artifacts")]) == 0
+        captured = capsys.readouterr()
+        assert "artifacts are PARTIAL" in captured.err
+        assert "1 cell(s) skipped by shard 1/2" in captured.err
+
+    def test_bad_shard_exits_2(self, capsys, tmp_path, monkeypatch):
+        from repro.harness.sweep_library import SWEEPS
+
+        monkeypatch.setitem(SWEEPS, "tinycli", self._tiny())
+        assert main(["sweep", "tinycli", "--store",
+                     str(tmp_path / "store"), "--shard", "9/4"]) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_shard_without_store_is_refused(self, capsys, monkeypatch):
+        # A shard alone would write partial artifacts that look
+        # complete; only a shared store makes shards union.
+        from repro.harness.sweep_library import SWEEPS
+
+        monkeypatch.setitem(SWEEPS, "tinycli", self._tiny())
+        assert main(["sweep", "tinycli", "--shard", "1/2"]) == 2
+        assert "--shard requires --store" in capsys.readouterr().err
+
+    def test_report_without_store_exits_2(self, capsys, tmp_path):
+        assert main(["report", "--store", str(tmp_path / "absent")]) == 2
+        assert "no experiment store" in capsys.readouterr().err
+
+    def test_report_with_bad_baseline_exits_2(
+            self, capsys, tmp_path, monkeypatch):
+        from repro.harness.sweep_library import SWEEPS
+
+        monkeypatch.setitem(SWEEPS, "tinycli", self._tiny())
+        store_dir = str(tmp_path / "store")
+        assert main(["sweep", "tinycli", "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["report", "--store", store_dir,
+                     "--baseline", str(tmp_path / "missing.json")]) == 2
+        assert "report:" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated")
+        assert main(["report", "--store", store_dir,
+                     "--baseline", str(bad)]) == 2
+        assert "report:" in capsys.readouterr().err
+
+    def test_resume_uses_default_store_dir(
+            self, capsys, tmp_path, monkeypatch):
+        from repro.harness.sweep_library import SWEEPS
+
+        monkeypatch.setitem(SWEEPS, "tinycli", self._tiny())
+        monkeypatch.chdir(tmp_path)
+        assert main(["sweep", "tinycli", "--resume"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / ".repro-store" / "sweeps"
+                / "tinycli.json").exists()
+        assert main(["sweep", "tinycli", "--resume"]) == 0
+        assert "1 replayed, 0 computed" in capsys.readouterr().out

@@ -1,0 +1,332 @@
+"""Tests for the persistent experiment store (harness/store.py):
+fingerprint scheme and invalidation, record round-trips, warm replay
+byte-identity, interrupted-sweep resume, and shard-union equality."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.scenarios import (
+    EXECUTORS,
+    CachedCellPayload,
+    ScenarioSpec,
+    SweepSpec,
+    run_sweep,
+)
+from repro.harness.store import (
+    STORE_SALT,
+    ExperimentStore,
+    canonical_cell_key,
+    cell_fingerprint,
+    parse_shard,
+)
+
+
+def tiny_sweep(name="tiny", sizes=(24, 32), seeds=(0, 1)):
+    return SweepSpec(
+        name=name,
+        description="store-test sweep",
+        scenarios=(
+            ScenarioSpec(
+                name="subq", protocol="subquadratic",
+                grid={"n": tuple(sizes)},
+                fixed={"f_fraction": 0.25, "lam": 10},
+                inputs="mixed", adversary="crash", seeds=tuple(seeds)),
+        ),
+    )
+
+
+def spec_cell(**overrides):
+    """One bound cell from a small spec, with overridable bindings."""
+    fixed = {"n": 24, "f_fraction": 0.25, "lam": 10}
+    fixed.update(overrides.pop("fixed", {}))
+    spec = ScenarioSpec(
+        name=overrides.pop("name", "cell"),
+        protocol=overrides.pop("protocol", "subquadratic"),
+        fixed=fixed,
+        inputs=overrides.pop("inputs", "mixed"),
+        adversary=overrides.pop("adversary", "crash"),
+        seeds=overrides.pop("seeds", (0, 1)),
+        **overrides)
+    return spec.cells()[0]
+
+
+class TestFingerprint:
+    def test_stable_across_expansions(self):
+        assert cell_fingerprint(spec_cell()) == cell_fingerprint(spec_cell())
+
+    def test_scenario_name_is_display_only(self):
+        # Renaming a scenario relabels rows but does not change what
+        # executes, so it must not invalidate the cache.
+        assert (cell_fingerprint(spec_cell(name="a"))
+                == cell_fingerprint(spec_cell(name="b")))
+
+    def test_every_result_affecting_axis_misses(self):
+        base = cell_fingerprint(spec_cell())
+        changed = [
+            spec_cell(fixed={"n": 32}),                      # binding
+            spec_cell(fixed={"lam": 12}),                    # params
+            spec_cell(seeds=(0, 2)),                         # seeds
+            spec_cell(seeds=(0,)),                           # seed count
+            spec_cell(adversary="none"),                     # adversary
+            spec_cell(inputs="ones"),                        # inputs
+            spec_cell(fixed={"network": "lan"}),             # conditions
+            spec_cell(fixed={"network": "wan",
+                             "topology": "clustered"}),      # topology
+            ScenarioSpec(                                    # protocol
+                name="cell", protocol="quadratic",
+                fixed={"n": 24, "f": 5},
+                inputs="mixed", adversary="crash",
+                seeds=(0, 1)).cells()[0],
+        ]
+        fingerprints = [cell_fingerprint(cell) for cell in changed]
+        assert base not in fingerprints
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_salt_and_share_lottery_participate(self):
+        cell = spec_cell()
+        assert (cell_fingerprint(cell, salt="other")
+                != cell_fingerprint(cell))
+        assert (cell_fingerprint(cell, share_lottery=False)
+                != cell_fingerprint(cell, share_lottery=True))
+
+    def test_key_is_canonical_json(self):
+        key = canonical_cell_key(spec_cell(fixed={"network": "lossy",
+                                                  "topology": None}))
+        # Round-trips through JSON without loss (what the digest hashes).
+        assert json.loads(json.dumps(key, sort_keys=True)) == key
+        # The resolved conditions are structural, not a display label:
+        # every field of the dataclass is covered.
+        network = key["network"]
+        assert network["__dataclass__"].endswith("NetworkConditions")
+        assert set(network["fields"]) == {
+            f.name for f in dataclasses.fields(
+                __import__("repro.sim.conditions",
+                           fromlist=["NetworkConditions"]).NetworkConditions)}
+
+    def test_non_module_callables_are_rejected(self):
+        # Two closures from one factory share a __qualname__, so
+        # fingerprinting one would let different cells collide; the
+        # store must refuse instead of silently replaying wrong results.
+        def factory(k):
+            def inner(n):
+                return k
+            return inner
+
+        cell = spec_cell(fixed={"weird_binding": factory(1)})
+        with pytest.raises(ConfigurationError,
+                           match="non-module-level callable"):
+            cell_fingerprint(cell)
+        with pytest.raises(ConfigurationError,
+                           match="non-module-level callable"):
+            cell_fingerprint(spec_cell(fixed={"weird_binding":
+                                              lambda n: n}))
+
+    def test_callable_bindings_canonicalize_by_qualname(self):
+        from repro.harness.scenarios import f_half_minus_one
+        cell = ScenarioSpec(
+            name="cell", protocol="broadcast-from-ba",
+            fixed={"n": 8, "f": f_half_minus_one, "sender_input": 1,
+                   "ba_builder": "quadratic"},
+            seeds=(0,)).cells()[0]
+        key = canonical_cell_key(cell)
+        assert key["kwargs"]["ba_builder"]["__callable__"].endswith(
+            "build_quadratic_ba")
+        assert key["f"] == 3  # callable f resolved before fingerprinting
+
+
+class TestStoreRoundTrip:
+    def test_record_round_trip_preserves_metric_types(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        result = run_sweep(tiny_sweep(), store=store).cells[0]
+        record = store.load_record(result.fingerprint)
+        assert record["metrics"] == result.metrics
+        for key, value in result.metrics.items():
+            assert type(record["metrics"][key]) is type(value), key
+        assert record["row"] == result.row()
+        assert record["key"]["salt"] == STORE_SALT
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        result = run_sweep(tiny_sweep(), store=store).cells[0]
+        path = store._cell_path(result.fingerprint)
+        record = json.loads(path.read_text())
+        record["schema"] = 999
+        path.write_text(json.dumps(record))
+        assert store.load_record(result.fingerprint) is None
+
+    def test_corrupted_records_are_misses_and_resume_recomputes(
+            self, tmp_path):
+        # A truncated/garbage record file (disk glitch, partial copy of
+        # a shared store) must read as a miss — the next resume
+        # re-records it — never crash the run.
+        store = ExperimentStore(tmp_path)
+        result = run_sweep(tiny_sweep(), store=store)
+        path = store._cell_path(result.cells[0].fingerprint)
+        path.write_text('{"schema": 1, "metr')  # truncated mid-write
+        assert store.load_record(result.cells[0].fingerprint) is None
+        rerun = run_sweep(tiny_sweep(), store=store)
+        assert rerun.store_stats["computed"] == 1
+        assert rerun.store_stats["replayed"] == 1
+        assert rerun.rows() == result.rows()
+        # Same treatment for a wrong-shape record and a damaged sweep
+        # record (the book simply omits the sweep until re-recorded).
+        path.write_text('{"schema": 1, "metrics": "oops"}')
+        assert store.load_record(result.cells[0].fingerprint) is None
+        store._sweep_path("tiny").write_text("garbage")
+        assert store.load_sweep("tiny") is None
+
+    def test_sweep_record_lists_cells_in_order(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        result = run_sweep(tiny_sweep(), store=store)
+        record = store.load_sweep("tiny")
+        assert record["complete"] is True
+        assert record["cells"] == [cell.fingerprint
+                                   for cell in result.cells]
+        assert store.sweep_rows("tiny") == result.rows()
+
+
+class TestWarmReplay:
+    def test_warm_run_executes_zero_cells_byte_identically(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        sweep = tiny_sweep()
+        plain = run_sweep(sweep)
+        cold = run_sweep(sweep, store=store)
+        warm = run_sweep(sweep, store=store)
+        assert cold.store_stats["computed"] == len(cold.cells)
+        assert warm.store_stats["computed"] == 0
+        assert warm.store_stats["replayed"] == len(warm.cells)
+        # Differential: stored replay ≡ fresh compute ≡ storeless run.
+        assert plain.rows() == cold.rows() == warm.rows()
+        assert (plain.to_table().render() == cold.to_table().render()
+                == warm.to_table().render())
+        # Artifact files are byte-identical cold vs warm.
+        for suffix, writer in (("csv", "to_csv"), ("json", "to_json")):
+            cold_path = getattr(cold, writer)(tmp_path / f"cold.{suffix}")
+            warm_path = getattr(warm, writer)(tmp_path / f"warm.{suffix}")
+            assert cold_path.read_bytes() == warm_path.read_bytes()
+
+    def test_replayed_cells_refuse_payload_access(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        run_sweep(tiny_sweep(), store=store)
+        warm = run_sweep(tiny_sweep(), store=store)
+        cell = warm.cells[0]
+        assert cell.cached
+        assert isinstance(cell.payload, CachedCellPayload)
+        # Same refusal contract as metrics-only transcripts: stored
+        # records keep metrics only, so TrialStats/transcript access
+        # must fail loudly instead of fabricating data.
+        with pytest.raises(TypeError, match="replayed from the "
+                                            "experiment store"):
+            cell.stats
+
+    def test_store_runs_report_no_lottery_counters(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        cold = run_sweep(tiny_sweep(), store=store)
+        warm = run_sweep(tiny_sweep(), store=store)
+        # Cold draws coins, warm draws none — artifacts must not differ,
+        # so store-backed results omit the counters entirely.
+        assert cold.lottery is None and warm.lottery is None
+
+    def test_unshared_lottery_keys_separate_but_equal_cells(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        shared = run_sweep(tiny_sweep(), store=store, share_lottery=True)
+        unshared = run_sweep(tiny_sweep(), store=store,
+                             share_lottery=False)
+        # Conservative fingerprinting: --no-shared-lottery recomputes...
+        assert unshared.store_stats["computed"] == len(unshared.cells)
+        # ...and the differential pin shows the caution is not hiding a
+        # divergence: both populations are row-identical.
+        assert shared.rows() == unshared.rows()
+
+
+class TestResumeAndGrowth:
+    def test_interrupted_sweep_resumes_with_missing_cells_only(
+            self, tmp_path, monkeypatch):
+        store = ExperimentStore(tmp_path)
+        sweep = tiny_sweep()
+        real = EXECUTORS["trials"]
+        calls = []
+
+        def explode_on_second(cell, workers, coin_cache, pool=None):
+            calls.append(cell)
+            if len(calls) > 1:
+                raise RuntimeError("simulated crash mid-sweep")
+            return real.run(cell, workers, coin_cache, pool=pool)
+
+        monkeypatch.setitem(
+            EXECUTORS, "trials",
+            dataclasses.replace(real, run=explode_on_second))
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            run_sweep(sweep, store=store)
+        monkeypatch.setitem(EXECUTORS, "trials", real)
+
+        # The completed cell was durably recorded before the crash.
+        resumed = run_sweep(sweep, store=store)
+        assert resumed.store_stats == {
+            "replayed": 1, "computed": 1, "skipped": 0,
+            "salt": STORE_SALT, "shard": None}
+        assert resumed.rows() == run_sweep(sweep).rows()
+
+    def test_grid_growth_costs_only_the_new_cells(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        run_sweep(tiny_sweep(sizes=(24,)), store=store)
+        grown = run_sweep(tiny_sweep(sizes=(24, 32)), store=store)
+        assert grown.store_stats["replayed"] == 1
+        assert grown.store_stats["computed"] == 1
+        assert grown.rows() == run_sweep(tiny_sweep(sizes=(24, 32))).rows()
+
+    def test_salt_bump_invalidates_everything(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        run_sweep(tiny_sweep(), store=store)
+        bumped = ExperimentStore(tmp_path, salt="store-v2-bumped")
+        rerun = run_sweep(tiny_sweep(), store=bumped)
+        assert rerun.store_stats["computed"] == len(rerun.cells)
+        assert rerun.store_stats["replayed"] == 0
+
+
+class TestShards:
+    def test_parse_shard(self):
+        assert parse_shard("1/1") == (1, 1)
+        assert parse_shard("2/4") == (2, 4)
+        for bad in ("0/2", "3/2", "2", "a/b", "1/0", "-1/2"):
+            with pytest.raises(ConfigurationError):
+                parse_shard(bad)
+
+    def test_run_sweep_validates_shard(self):
+        with pytest.raises(ConfigurationError, match="shard"):
+            run_sweep(tiny_sweep(), shard=(3, 2))
+
+    def test_shards_partition_the_cells(self, tmp_path):
+        sweep = tiny_sweep()
+        full = run_sweep(sweep)
+        one = run_sweep(sweep, shard=(1, 2))
+        two = run_sweep(sweep, shard=(2, 2))
+        labels = [cell.cell.label() for cell in full.cells]
+        assert [c.cell.label() for c in one.cells] == labels[0::2]
+        assert [c.cell.label() for c in two.cells] == labels[1::2]
+        assert one.store_stats["skipped"] == 1
+        assert one.store_stats["shard"] == "1/2"
+
+    def test_shard_union_equals_unsharded(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        sweep = tiny_sweep()
+        first = run_sweep(sweep, store=store, shard=(1, 2))
+        assert first.store_stats["skipped"] == 1
+        record = store.load_sweep("tiny")
+        assert record["complete"] is False
+        # The record lists the full expansion even though this shard
+        # only computed half — concurrent shards write equivalent
+        # records, and the book sections the whole sweep once the cell
+        # records exist.
+        assert len(record["cells"]) == 2
+        second = run_sweep(sweep, store=store, shard=(2, 2))
+        # The second shard replays shard 1's cells from the shared store
+        # and computes its own: the union is the whole sweep.
+        assert second.store_stats == {
+            "replayed": 1, "computed": 1, "skipped": 0,
+            "salt": STORE_SALT, "shard": "2/2"}
+        assert second.rows() == run_sweep(sweep).rows()
+        assert store.load_sweep("tiny")["complete"] is True
