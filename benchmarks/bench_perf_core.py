@@ -6,7 +6,15 @@ paper's headline experiments depend on: a quadratic-BA execution at large
 n, where certificate verification and delivery fan-out dominate.  Run with
 ``pytest benchmarks/bench_perf_core.py``; record the tracked numbers with
 ``python scripts/record_bench.py``.
+
+The scaling sweep behind BENCH_core.json's ``scaling-curve`` profile is
+also runnable directly, on any n grid::
+
+    PYTHONPATH=src python benchmarks/bench_perf_core.py \
+        --n-grid 96,192,384 [--families quadratic,subquadratic] [--seed 1]
 """
+
+import argparse
 
 from repro.harness.runner import run_instance
 from repro.protocols.quadratic_ba import build_quadratic_ba
@@ -48,3 +56,44 @@ def bench_subquadratic_ba_n256(benchmark):
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.consistent()
+
+
+def main() -> None:
+    """Reproduce the scaling curve locally on an arbitrary n grid."""
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--n-grid", required=True,
+        help="comma-separated n values, e.g. 96,192,384")
+    parser.add_argument(
+        "--families", default="quadratic,subquadratic",
+        help="comma-separated protocol families to sweep")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    # Imported lazily: scripts/ is not a package, but the sweep logic
+    # must stay single-sourced with the recorded benchmark.
+    import pathlib
+    import sys
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
+    from record_bench import scaling_point
+
+    grid = [int(value) for value in args.n_grid.split(",")]
+    for family in args.families.split(","):
+        for n in grid:
+            point = scaling_point(family, n, seed=args.seed)
+            budget = point["budget"]
+            breakdown = " ".join(
+                f"{phase.split('_')[0]}={budget[phase]}s"
+                for phase in ("deliver_seconds", "protocol_seconds",
+                              "verify_seconds", "sizing_seconds",
+                              "other_seconds"))
+            print(f"{family} n={n} f={point['f']}: "
+                  f"{budget['wall_seconds']}s wall "
+                  f"({point['rounds_executed']} rounds, "
+                  f"{point['multicast_complexity_bits']} multicast bits) "
+                  f"[{breakdown}]")
+
+
+if __name__ == "__main__":
+    main()

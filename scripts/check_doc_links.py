@@ -45,6 +45,8 @@ REQUIRED_LINKS = (
     ("docs/PROTOCOLS.md", "docs/SCENARIOS.md"),
     ("docs/RESULTS.md", "docs/SCENARIOS.md"),
     ("docs/RESULTS.md", "docs/PERFORMANCE.md"),
+    ("docs/ARCHITECTURE.md", "docs/PERFORMANCE.md"),
+    ("docs/PERFORMANCE.md", "docs/ARCHITECTURE.md"),
 )
 
 

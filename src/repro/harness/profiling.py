@@ -11,8 +11,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import repro.sim.engine as _engine_mod
+import repro.sim.metrics as _metrics_mod
 from repro.harness.runner import run_instance
 from repro.protocols.base import ProtocolInstance
+from repro.sim.network import SynchronousNetwork
 from repro.sim.result import ExecutionResult
 
 
@@ -52,3 +55,133 @@ def profile_check_calls(instance: ProtocolInstance, f: int,
         del authenticator.check  # restore the bound method
     return CheckCallProfile(result=result, wall_seconds=wall,
                             check_calls=calls[0])
+
+
+@dataclass
+class PhaseBudget:
+    """Wall time of one execution attributed to its hot-path phases.
+
+    The buckets decompose the wall clock:
+    ``wall ≈ deliver + protocol + verify + sizing + other``.
+
+    - **deliver** — ``SynchronousNetwork.deliver`` proper.  Delivery is
+      lazy, so this is the staging-window turnover; the per-node inbox
+      materialization runs when the protocol step first reads an inbox
+      and lands in *protocol*.
+    - **verify** — ``authenticator.check`` (the cryptographic predicate,
+      wherever invoked: node handlers, sandboxed corrupt nodes, the
+      memoization layer on a miss).
+    - **sizing** — ``encoded_size_bits`` as called by metrics recording.
+    - **protocol** — the honest round step *exclusive* of verify and
+      sizing time accrued inside it.
+    - **other** — everything else: engine loop, adversary rushing step,
+      RNG derivation, result assembly.
+    """
+
+    result: ExecutionResult
+    wall_seconds: float
+    deliver_seconds: float
+    protocol_seconds: float
+    verify_seconds: float
+    sizing_seconds: float
+    other_seconds: float
+    check_calls: int
+
+    def budget_dict(self) -> dict:
+        """The attribution as a plain dict (for JSON snapshots)."""
+        return {
+            "wall_seconds": round(self.wall_seconds, 4),
+            "deliver_seconds": round(self.deliver_seconds, 4),
+            "protocol_seconds": round(self.protocol_seconds, 4),
+            "verify_seconds": round(self.verify_seconds, 4),
+            "sizing_seconds": round(self.sizing_seconds, 4),
+            "other_seconds": round(self.other_seconds, 4),
+            "check_calls": self.check_calls,
+        }
+
+
+def profile_phase_budget(instance: ProtocolInstance, f: int,
+                         seed=0) -> PhaseBudget:
+    """Run ``instance`` attributing wall time to deliver / protocol-step /
+    verify / sizing.
+
+    Instrumentation wraps the four seams the phases flow through:
+    ``SynchronousNetwork.deliver`` (class-level — the network is built
+    inside the engine), ``Simulation._honest_step`` (class-level),
+    the metrics module's ``encoded_size_bits`` binding, and the
+    instance's ``authenticator.check``.  All wrappers are restored on
+    exit; the function is not reentrant (profile one execution at a
+    time).  Verify/sizing time inside the honest step is subtracted from
+    the *protocol* bucket so the buckets stay disjoint.
+    """
+    state = {"deliver": 0.0, "step": 0.0, "verify": 0.0, "sizing": 0.0,
+             "nested": 0.0, "in_step": False, "checks": 0}
+    perf_counter = time.perf_counter
+
+    orig_deliver = SynchronousNetwork.deliver
+    orig_step = _engine_mod.Simulation._honest_step
+    orig_size = _metrics_mod.encoded_size_bits
+    authenticator = instance.services["authenticator"]
+    orig_check = authenticator.check
+
+    def timed_deliver(self):
+        start = perf_counter()
+        out = orig_deliver(self)
+        state["deliver"] += perf_counter() - start
+        return out
+
+    def timed_step(self, round_index, inboxes):
+        start = perf_counter()
+        state["in_step"] = True
+        try:
+            return orig_step(self, round_index, inboxes)
+        finally:
+            state["in_step"] = False
+            state["step"] += perf_counter() - start
+
+    def timed_check(node_id, topic, auth):
+        start = perf_counter()
+        out = orig_check(node_id, topic, auth)
+        elapsed = perf_counter() - start
+        state["verify"] += elapsed
+        state["checks"] += 1
+        if state["in_step"]:
+            state["nested"] += elapsed
+        return out
+
+    def timed_size(obj):
+        start = perf_counter()
+        out = orig_size(obj)
+        elapsed = perf_counter() - start
+        state["sizing"] += elapsed
+        if state["in_step"]:
+            state["nested"] += elapsed
+        return out
+
+    SynchronousNetwork.deliver = timed_deliver
+    _engine_mod.Simulation._honest_step = timed_step
+    _metrics_mod.encoded_size_bits = timed_size
+    authenticator.check = timed_check
+    try:
+        start = perf_counter()
+        result = run_instance(instance, f, seed=seed)
+        wall = perf_counter() - start
+    finally:
+        SynchronousNetwork.deliver = orig_deliver
+        _engine_mod.Simulation._honest_step = orig_step
+        _metrics_mod.encoded_size_bits = orig_size
+        del authenticator.check
+
+    protocol = max(0.0, state["step"] - state["nested"])
+    other = max(0.0, wall - state["deliver"] - protocol
+                - state["verify"] - state["sizing"])
+    return PhaseBudget(
+        result=result,
+        wall_seconds=wall,
+        deliver_seconds=state["deliver"],
+        protocol_seconds=protocol,
+        verify_seconds=state["verify"],
+        sizing_seconds=state["sizing"],
+        other_seconds=other,
+        check_calls=state["checks"],
+    )

@@ -48,6 +48,7 @@ from repro.protocols.messages import (
     TerminateMsg,
     VoteMsg,
 )
+from repro.serialization import _intern_field_key, intern_by_key, intern_payload
 from repro.sim.node import Node, RoundContext
 from repro.types import Bit, NodeId, Round, other_bit
 
@@ -174,7 +175,12 @@ class AbaNode(Node):
         if certificate is None:
             return
         current = self.best_cert[certificate.bit]
-        if rank(certificate) > rank(current):
+        # Inlined ``rank(certificate) > rank(current)`` (None ranks as
+        # GENESIS_RANK) — this runs once per absorbed message and the
+        # attribute compare is measurably cheaper than two function calls
+        # at n ≥ 768.
+        if certificate.iteration > (
+                current.iteration if current is not None else 0):
             self.best_cert[certificate.bit] = certificate
 
     def _proposal_valid(self, msg: ProposeMsg) -> bool:
@@ -201,18 +207,43 @@ class AbaNode(Node):
         """Validate and absorb every delivery; return a pending decision
         ``(iteration, bit)`` if one became available."""
         pending: Optional[Tuple[int, Bit]] = None
+        # The shared valid-payload front is probed inline: at n = 1536 a
+        # single execution dispatches millions of deliveries, and the
+        # method-call indirection of ``is_known_valid`` per delivery is
+        # itself a top-five profile entry.  Reading the dict directly is
+        # equivalent — ``mark_valid`` is gated on CACHING_ENABLED, so the
+        # dict stays empty (every ``get`` misses) when caching is off.
+        # Dispatch compares exact classes first (payload dataclasses are
+        # never subclassed in-tree) with an isinstance fallback so
+        # out-of-tree subclasses keep the historical behavior.
+        front = self._verification.valid_payloads
         for delivery in ctx.inbox:
             msg = delivery.payload
-            if isinstance(msg, StatusMsg):
-                self._handle_status(msg)
+            entry = front.get(id(msg))
+            known = entry is not None and entry[0] is msg
+            cls = msg.__class__
+            if cls is VoteMsg:
+                self._handle_vote(msg, known)
+            elif cls is StatusMsg:
+                self._handle_status(msg, known)
+            elif cls is CommitMsg:
+                self._handle_commit(msg, known)
+            elif cls is ProposeMsg:
+                self._handle_propose(msg, known)
+            elif cls is TerminateMsg:
+                adopted = self._handle_terminate(msg, known)
+                if adopted is not None:
+                    pending = adopted
+            elif isinstance(msg, StatusMsg):
+                self._handle_status(msg, known)
             elif isinstance(msg, ProposeMsg):
-                self._handle_propose(msg)
+                self._handle_propose(msg, known)
             elif isinstance(msg, VoteMsg):
-                self._handle_vote(msg)
+                self._handle_vote(msg, known)
             elif isinstance(msg, CommitMsg):
-                self._handle_commit(msg)
+                self._handle_commit(msg, known)
             elif isinstance(msg, TerminateMsg):
-                adopted = self._handle_terminate(msg)
+                adopted = self._handle_terminate(msg, known)
                 if adopted is not None:
                     pending = adopted
         for (iteration, bit), commits in self.commits_seen.items():
@@ -220,49 +251,69 @@ class AbaNode(Node):
                 pending = (iteration, bit)
         return pending
 
-    def _handle_status(self, msg: StatusMsg) -> None:
-        topic = ("Status", msg.iteration, msg.bit)
-        if not self._check_auth(msg.sender, topic, msg.auth):
-            return
-        if self._check_certificate(msg.certificate, expected_bit=msg.bit):
-            self._absorb_certificate(msg.certificate)
+    def _handle_status(self, msg: StatusMsg, known: bool = False) -> None:
+        # Validation (not absorption) of a message is recipient-independent:
+        # the first recipient to validate this exact object spares the rest
+        # (see VerificationCache.is_known_valid; ``known`` is the inlined
+        # front probe from _process_inbox).  The handlers below follow the
+        # same shape: skip to the state updates on a front hit.
+        if not (known or self._verification.is_known_valid(msg)):
+            topic = ("Status", msg.iteration, msg.bit)
+            if not self._check_auth(msg.sender, topic, msg.auth):
+                return
+            if not self._check_certificate(msg.certificate,
+                                           expected_bit=msg.bit):
+                return
+            self._verification.mark_valid(msg)
+        self._absorb_certificate(msg.certificate)
 
-    def _handle_propose(self, msg: ProposeMsg) -> None:
-        if not self._proposal_valid(msg):
-            return
+    def _handle_propose(self, msg: ProposeMsg, known: bool = False) -> None:
+        if not (known or self._verification.is_known_valid(msg)):
+            if not self._proposal_valid(msg):
+                return
+            self._verification.mark_valid(msg)
         self._absorb_certificate(msg.certificate)
         self.proposals.setdefault(msg.iteration, []).append(msg)
 
-    def _handle_vote(self, msg: VoteMsg) -> None:
-        if msg.bit not in (0, 1):
-            return
-        topic = ("Vote", msg.iteration, msg.bit)
-        if not self._check_auth(msg.sender, topic, msg.auth):
-            return
-        if msg.iteration > 1:
-            # Footnote 11: votes beyond iteration 1 carry the leader
-            # proposal that justifies them.
-            proposal = msg.proposal
-            if (proposal is None or proposal.iteration != msg.iteration
-                    or proposal.bit != msg.bit
-                    or not self._proposal_valid(proposal)):
+    def _handle_vote(self, msg: VoteMsg, known: bool = False) -> None:
+        if not (known or self._verification.is_known_valid(msg)):
+            if msg.bit not in (0, 1):
                 return
-            self._absorb_certificate(proposal.certificate)
+            topic = ("Vote", msg.iteration, msg.bit)
+            if not self._check_auth(msg.sender, topic, msg.auth):
+                return
+            if msg.iteration > 1:
+                # Footnote 11: votes beyond iteration 1 carry the leader
+                # proposal that justifies them.
+                proposal = msg.proposal
+                if (proposal is None or proposal.iteration != msg.iteration
+                        or proposal.bit != msg.bit
+                        or not self._proposal_valid(proposal)):
+                    return
+            self._verification.mark_valid(msg)
+        if msg.iteration > 1:
+            self._absorb_certificate(msg.proposal.certificate)
         self._record_vote(msg.iteration, msg.bit, msg.sender, msg.auth)
 
     def _record_vote(self, iteration: int, bit: Bit, voter: NodeId,
                      auth: Any) -> None:
         votes = self.votes_seen.setdefault((iteration, bit), {})
         votes.setdefault(voter, auth)
+        best = self.best_cert[bit]
+        # Inlined ``rank(best) < iteration`` (None ranks as GENESIS_RANK).
         if (len(votes) >= self.config.threshold
-                and rank(self.best_cert[bit]) < iteration):
+                and (best.iteration if best is not None else 0) < iteration):
             # A quorum of valid votes *is* a certificate, whether or not
             # the commit condition later holds.  Once best_cert holds an
             # iteration-r certificate for this bit, re-assembling one from
             # a larger vote set could never outrank it, so skip the
-            # (quadratic-in-n) rebuild on every extra vote.
-            self._absorb_certificate(certificate_from_votes(
-                iteration, bit, votes, self.config.threshold))
+            # (quadratic-in-n) rebuild on every extra vote.  Every node
+            # assembles the same certificate from the same quorum, so the
+            # intern arena collapses the n content-equal copies to one
+            # object — and every identity-keyed memo downstream (size
+            # accounting, certificate fronts) hits for all of them.
+            self._absorb_certificate(intern_payload(certificate_from_votes(
+                iteration, bit, votes, self.config.threshold)))
 
     def _commit_valid(self, msg: CommitMsg) -> bool:
         if msg.bit not in (0, 1):
@@ -276,9 +327,11 @@ class AbaNode(Node):
             return False
         return self._check_certificate(certificate, expected_bit=msg.bit)
 
-    def _handle_commit(self, msg: CommitMsg) -> None:
-        if not self._commit_valid(msg):
-            return
+    def _handle_commit(self, msg: CommitMsg, known: bool = False) -> None:
+        if not (known or self._verification.is_known_valid(msg)):
+            if not self._commit_valid(msg):
+                return
+            self._verification.mark_valid(msg)
         self._absorb_certificate(msg.certificate)
         self.commits_seen.setdefault(
             (msg.iteration, msg.bit), {}).setdefault(msg.sender, msg)
@@ -297,20 +350,23 @@ class AbaNode(Node):
         topic = ("Commit", commit.iteration, commit.bit)
         return self._check_auth(commit.sender, topic, commit.auth)
 
-    def _handle_terminate(self, msg: TerminateMsg) -> Optional[Tuple[int, Bit]]:
-        if msg.bit not in (0, 1):
-            return None
-        topic = ("Terminate", msg.bit)
-        if not self._check_auth(msg.sender, topic, msg.auth):
-            return None
-        senders = set()
-        for commit in msg.commits:
-            if (commit.iteration != msg.iteration or commit.bit != msg.bit
-                    or not self._commit_ref_valid(commit)):
+    def _handle_terminate(self, msg: TerminateMsg,
+                          known: bool = False) -> Optional[Tuple[int, Bit]]:
+        if not (known or self._verification.is_known_valid(msg)):
+            if msg.bit not in (0, 1):
                 return None
-            senders.add(commit.sender)
-        if len(senders) < self.config.threshold:
-            return None
+            topic = ("Terminate", msg.bit)
+            if not self._check_auth(msg.sender, topic, msg.auth):
+                return None
+            senders = set()
+            for commit in msg.commits:
+                if (commit.iteration != msg.iteration or commit.bit != msg.bit
+                        or not self._commit_ref_valid(commit)):
+                    return None
+                senders.add(commit.sender)
+            if len(senders) < self.config.threshold:
+                return None
+            self._verification.mark_valid(msg)
         # Record the quorum so this node's own (relayed) Terminate can
         # attach it.
         recorded = self.commits_seen.setdefault((msg.iteration, msg.bit), {})
@@ -329,11 +385,24 @@ class AbaNode(Node):
             commits = self.commits_seen.get((iteration, bit), {})
             # Strip the vote certificates from the attached commits to meet
             # the O(λ(log κ + log n)) message bound (see _commit_ref_valid).
-            stripped = tuple(
-                CommitMsg(iteration=c.iteration, bit=c.bit, certificate=None,
-                          sender=c.sender, auth=c.auth)
-                for c in sorted(commits.values(), key=lambda c: c.sender)
-                [:self.config.threshold])
+            # Interned as a whole quorum: every terminating node strips the
+            # same commits, so the content-equal stripped tuples collapse
+            # to one object — keyed by the chosen commits' identity (their
+            # sender/auth determine the stripped content; iteration and bit
+            # are fixed by the key head).  The arena entry keeps the chosen
+            # originals alive alongside the stripped tuple, pinning every
+            # id() the key references.
+            chosen = sorted(commits.values(),
+                            key=lambda c: c.sender)[:self.config.threshold]
+            stripped = intern_by_key(
+                (TerminateMsg, iteration, bit,
+                 tuple([(c.sender, _intern_field_key(c.auth))
+                        for c in chosen])),
+                lambda: (tuple(chosen), tuple(
+                    intern_payload(CommitMsg(
+                        iteration=c.iteration, bit=c.bit, certificate=None,
+                        sender=c.sender, auth=c.auth))
+                    for c in chosen)))[1]
             payload = TerminateMsg(
                 bit=bit,
                 iteration=iteration,
@@ -410,8 +479,8 @@ class AbaNode(Node):
             opposing = self.votes_seen.get((iteration, other_bit(bit)), {})
             if len(votes) < self.config.threshold or opposing:
                 continue
-            certificate = certificate_from_votes(
-                iteration, bit, votes, self.config.threshold)
+            certificate = intern_payload(certificate_from_votes(
+                iteration, bit, votes, self.config.threshold))
             self._absorb_certificate(certificate)
             auth = self.config.authenticator.attempt(
                 self.node_id, ("Commit", iteration, bit))

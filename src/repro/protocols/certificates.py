@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from repro.protocols.messages import SignedVote
+from repro.serialization import _intern_field_key, intern_by_key, intern_payload
 from repro.types import Bit
 
 #: Rank of the fictitious iteration-0 certificate (no certificate at all).
@@ -45,15 +46,30 @@ def certificate_from_votes(iteration: int, bit: Bit,
     Votes are ordered by voter id so the certificate bytes are canonical;
     only ``threshold`` votes are included — the minimum needed — keeping
     the message size at the paper's O(λ(log κ + log n)).
+
+    Each wrapped vote is interned: every node wraps the same (shared)
+    auth objects into content-equal ``SignedVote`` copies, and the arena
+    collapses those to one object per vote, so identity-keyed memos
+    (size accounting, tag caches) hit across all assemblers.
     """
     chosen = sorted(votes.items())[:threshold]
-    return Certificate(
+    # Assembly itself is interned: every honest node assembles this same
+    # certificate from the same quorum of (shared) auth objects, so after
+    # the first build the others resolve with one key construction and no
+    # SignedVote wrapping at all.  The key pins its auth ids through the
+    # representative's votes; vote wrapping inside the first build is
+    # interned too, so vote objects are shared even across certificates.
+    key = (Certificate, iteration, bit,
+           tuple([(voter, _intern_field_key(auth))
+                  for voter, auth in chosen]))
+    return intern_by_key(key, lambda: Certificate(
         iteration=iteration,
         bit=bit,
-        votes=tuple(SignedVote(iteration=iteration, bit=bit, voter=voter,
-                               auth=auth)
-                    for voter, auth in chosen),
-    )
+        votes=tuple(
+            intern_payload(SignedVote(iteration=iteration, bit=bit,
+                                      voter=voter, auth=auth))
+            for voter, auth in chosen),
+    ))
 
 
 def verify_certificate(certificate: Certificate, threshold: int,

@@ -79,7 +79,7 @@ class VerificationCache:
     """
 
     __slots__ = ("_auth", "_auth_keys", "_certs", "_cert_keys",
-                 "_cert_true_by_id", "_proposals")
+                 "_cert_true_by_id", "_proposals", "valid_payloads")
 
     def __init__(self) -> None:
         # type_tagged (node_id, topic, auth) of verified checks; covers
@@ -101,6 +101,31 @@ class VerificationCache:
         self._cert_true_by_id: Dict[int, Tuple[Certificate]] = {}
         # type_tagged (sender, iteration, bit, auth) of verified proposals.
         self._proposals: set = set()
+        # Positive-only identity front over whole message payloads: the
+        # simulation hands every recipient the *same* frozen payload
+        # object, and a message's validation (auth checks, certificate
+        # checks, structural checks — everything except the recipient's
+        # own state updates) is a pure public predicate, so once any node
+        # validated an object, the other n - 1 recipients skip straight
+        # to their state updates.  Entries pin the object (no id
+        # recycling) and only successes are stored — a failed validation
+        # is re-attempted per recipient, because a ``False`` can become
+        # ``True`` later (see module docstring).
+        self.valid_payloads: Dict[int, Tuple[Any, ...]] = {}
+
+    def is_known_valid(self, payload: Any) -> bool:
+        """Has this exact payload object already passed full validation?"""
+        if not CACHING_ENABLED:
+            return False
+        entry = self.valid_payloads.get(id(payload))
+        return entry is not None and entry[0] is payload
+
+    def mark_valid(self, payload: Any) -> None:
+        """Record that this payload object passed full validation."""
+        if not CACHING_ENABLED:
+            return
+        _trim(self.valid_payloads)
+        self.valid_payloads[id(payload)] = (payload,)
 
     def _auth_key_of(self, auth: Any) -> Any:
         entry = self._auth_keys.get(id(auth))

@@ -17,11 +17,16 @@ of the message) does not retroactively un-count it, matching the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from repro.serialization import encoded_size_bits
 from repro.sim.network import Envelope
 from repro.types import Round
+
+try:  # vectorized per-round aggregation; pure-python fallback without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is part of the toolchain
+    _np = None
 
 
 @dataclass
@@ -35,6 +40,13 @@ class CommunicationMetrics:
     corrupt_unicast_count: int = 0
     max_message_bits: int = 0
     per_round_honest_multicasts: Dict[Round, int] = field(default_factory=dict)
+    #: Raw (round, bits) event log of honest multicasts, aggregated
+    #: lazily (and vectorized) by :meth:`per_round_multicast_bits`.
+    #: Excluded from equality/repr: it is derived bookkeeping — two
+    #: metric states with equal counters are equal regardless of how the
+    #: event log happens to be chunked.
+    _multicast_bit_events: List[Tuple[Round, int]] = field(
+        default_factory=list, compare=False, repr=False)
 
     def record(self, envelope: Envelope) -> None:
         bits = encoded_size_bits(envelope.payload)
@@ -46,6 +58,8 @@ class CommunicationMetrics:
                 per_round = self.per_round_honest_multicasts
                 per_round[envelope.round_sent] = (
                     per_round.get(envelope.round_sent, 0) + 1)
+                self._multicast_bit_events.append(
+                    (envelope.round_sent, bits))
             else:
                 self.honest_unicast_count += 1
                 self.honest_unicast_bits += bits
@@ -54,6 +68,28 @@ class CommunicationMetrics:
                 self.corrupt_multicast_count += 1
             else:
                 self.corrupt_unicast_count += 1
+
+    def per_round_multicast_bits(self) -> Dict[Round, int]:
+        """Bits multicast by honest nodes, per round sent.
+
+        Aggregated from the raw event log on demand — one numpy
+        ``bincount`` over the whole execution instead of a per-envelope
+        dict update on the staging hot path (the pure-python fallback
+        only runs where numpy is unavailable).
+        """
+        events = self._multicast_bit_events
+        if not events:
+            return {}
+        if _np is not None:
+            arr = _np.asarray(events, dtype=_np.int64)
+            totals = _np.bincount(arr[:, 0], weights=arr[:, 1])
+            return {round_index: int(total)
+                    for round_index, total in enumerate(totals) if total}
+        totals_by_round: Dict[Round, int] = {}
+        for round_index, bits in events:
+            totals_by_round[round_index] = (
+                totals_by_round.get(round_index, 0) + bits)
+        return totals_by_round
 
     # -- Definition 7 ----------------------------------------------------
     @property

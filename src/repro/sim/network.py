@@ -6,15 +6,38 @@ bound").  The network supports the one non-standard operation the paper's
 strongly adaptive adversary needs: *after-the-fact removal*, i.e. erasing
 a staged message for some or all recipients before it is delivered.  The
 engine only exposes that operation when the adversary model permits it.
+
+Batched delivery
+----------------
+A multicast round at size ``n`` used to cost O(n²) per-recipient list
+appends inside :meth:`SynchronousNetwork.deliver` (every envelope pushed
+into every inbox eagerly).  Delivery now returns a :class:`RoundInboxes`
+mapping over one *shared* per-round entry list: each surviving envelope
+contributes a single ``(sender, recipient, delivery, blocked)`` record,
+and a node's inbox materializes lazily — as one C-speed comprehension
+over the shared list — only when that node's inbox is actually read.
+Inboxes that nothing reads (halted nodes, corrupt nodes whose adversary
+ignores them) cost nothing.  Delivery order within an inbox is still
+send order, and repeated runs still replay exactly.
+
+The recipient-set contract (multicast fan-out to everyone but the
+sender, sender self-skip on unicasts, per-``(envelope, recipient)``
+suppression) lives in exactly one place, :meth:`_surviving_entries`;
+both :meth:`deliver` and :meth:`_drain_staged` (the per-copy expansion
+the conditioned network schedules from) consume it.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.types import NodeId, Round
+
+#: Shared "no recipients suppressed" marker for entry records.
+_NONE_BLOCKED: FrozenSet[NodeId] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -41,6 +64,51 @@ class Delivery:
     payload: Any
 
 
+class RoundInboxes(Mapping):
+    """Lazy per-node inbox views over one round's shared entry list.
+
+    Behaves like the eager ``Dict[NodeId, List[Delivery]]`` it replaced
+    (keys ``0..n-1``, each value a list in send order; ``Mapping`` supplies
+    ``get``/``items``/``values``/``==``), but a node's list is built on
+    first access and memoized.  Entries are
+    ``(sender, recipient, delivery, blocked)`` tuples — ``recipient`` is
+    ``None`` for a multicast, ``blocked`` the (usually empty, shared)
+    frozenset of suppressed recipients for that envelope.
+    """
+
+    __slots__ = ("_n", "_entries", "_views")
+
+    def __init__(self, n: int,
+                 entries: List[Tuple[NodeId, Optional[NodeId],
+                                     Delivery, FrozenSet[NodeId]]]) -> None:
+        self._n = n
+        self._entries = entries
+        self._views: Dict[NodeId, List[Delivery]] = {}
+
+    def __getitem__(self, node: NodeId) -> List[Delivery]:
+        view = self._views.get(node)
+        if view is None:
+            if not (isinstance(node, int) and 0 <= node < self._n):
+                raise KeyError(node)
+            view = [
+                delivery
+                for sender, recipient, delivery, blocked in self._entries
+                if (recipient == node or (recipient is None and sender != node))
+                and node not in blocked
+            ]
+            self._views[node] = view
+        return view
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(range(self._n))
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        return f"RoundInboxes(n={self._n}, entries={len(self._entries)})"
+
+
 class SynchronousNetwork:
     """Stages envelopes during a round and delivers them the next round."""
 
@@ -51,7 +119,9 @@ class SynchronousNetwork:
         self._next_envelope_id = 0
         self._staged: List[Envelope] = []
         self._staged_ids: Set[int] = set()
-        self._suppressed: Set[Tuple[int, NodeId]] = set()
+        #: envelope_id -> suppressed recipients; ``None`` means every copy
+        #: of the envelope is suppressed (O(1) instead of n set entries).
+        self._suppressed: Dict[int, Optional[Set[NodeId]]] = {}
         self._delivered_round: Round = -1
         #: Whether to keep the full transcript (the engine's
         #: ``metrics-only`` retention turns this off so long executions
@@ -88,95 +158,122 @@ class SynchronousNetwork:
         only the copy addressed to ``recipient`` is erased.  Only envelopes
         still in flight (staged this round, not yet delivered) can be
         suppressed — one cannot rewrite history.
+
+        Full suppression stores one ``None`` marker rather than a set
+        entry per node; in particular it no longer records a
+        ``(envelope_id, sender)`` entry for the sender's own copy, which
+        does not exist (a sender never receives its own message).
         """
         if envelope.envelope_id not in self._staged_ids:
             raise SimulationError(
                 "cannot suppress a message that is not in flight")
         if recipient is None:
-            for node in range(self.n):
-                self._suppressed.add((envelope.envelope_id, node))
+            self._suppressed[envelope.envelope_id] = None
         else:
-            self._suppressed.add((envelope.envelope_id, recipient))
+            blocked = self._suppressed.get(envelope.envelope_id, _NONE_BLOCKED)
+            if blocked is None:
+                return  # already fully suppressed
+            if blocked is _NONE_BLOCKED:
+                self._suppressed[envelope.envelope_id] = {recipient}
+            else:
+                blocked.add(recipient)
 
     def in_flight(self) -> List[Envelope]:
         """Envelopes staged this round (the rushing adversary's view)."""
         return list(self._staged)
 
+    def is_suppressed(self, envelope: Envelope, recipient: NodeId) -> bool:
+        blocked = self._suppressed.get(envelope.envelope_id, _NONE_BLOCKED)
+        return True if blocked is None else recipient in blocked
+
+    def _surviving_entries(self):
+        """Yield one ``(envelope, delivery, blocked)`` record per envelope
+        that still has at least one deliverable copy.
+
+        This is the single canonical statement of the delivery contract:
+        fully-suppressed envelopes are dropped, a unicast to self or to a
+        suppressed recipient is dropped, and ``blocked`` carries the
+        per-envelope suppressed-recipient set (empty frozenset when
+        nothing was suppressed) for the multicast fan-out to honor.
+        """
+        suppressed = self._suppressed
+        for envelope in self._staged:
+            if suppressed:
+                blocked = suppressed.get(envelope.envelope_id, _NONE_BLOCKED)
+                if blocked is None:
+                    continue  # every copy suppressed
+            else:
+                blocked = _NONE_BLOCKED
+            recipient = envelope.recipient
+            if recipient is not None and (
+                    recipient == envelope.sender or recipient in blocked):
+                continue
+            yield (envelope,
+                   Delivery(sender=envelope.sender, payload=envelope.payload),
+                   blocked)
+
+    def _reset_window(self) -> None:
+        self._staged = []
+        self._staged_ids = set()
+        self._suppressed = {}
+
     def _drain_staged(self, per_copy) -> None:
         """Expand the staging window into surviving per-recipient copies.
 
         Calls ``per_copy(envelope, recipient, delivery)`` for every copy
-        that survives the contract — multicast fan-out to everyone but
-        the sender, sender self-skip on unicasts, per-``(envelope,
-        recipient)`` suppression — then resets the window.  This is the
-        canonical implementation of the contract for ``deliver()``
-        overrides (the conditioned network schedules each copy for a
-        future round); the base :meth:`deliver` keeps its own hand-tuned
-        inline expansion for the same-round hot path, so any change to
-        the contract must touch both.
+        that survives the contract (multicast recipients in ascending
+        order — the conditioned network's RNG draws depend on that), then
+        resets the window.  Used by ``deliver()`` overrides that schedule
+        each copy individually; the base :meth:`deliver` consumes the
+        same :meth:`_surviving_entries` records without per-copy fan-out.
         """
-        suppressed = self._suppressed
-        for envelope in self._staged:
-            delivery = Delivery(sender=envelope.sender,
-                                payload=envelope.payload)
-            if envelope.is_multicast:
-                envelope_id = envelope.envelope_id
-                for recipient in range(self.n):
-                    if recipient == envelope.sender:
-                        continue
-                    if suppressed and (envelope_id, recipient) in suppressed:
-                        continue
-                    per_copy(envelope, recipient, delivery)
+        n = self.n
+        for envelope, delivery, blocked in self._surviving_entries():
+            if envelope.recipient is not None:
+                per_copy(envelope, envelope.recipient, delivery)
+            elif blocked:
+                sender = envelope.sender
+                for recipient in range(n):
+                    if recipient != sender and recipient not in blocked:
+                        per_copy(envelope, recipient, delivery)
             else:
-                recipient = envelope.recipient
-                if recipient != envelope.sender and not (
-                        suppressed
-                        and (envelope.envelope_id, recipient) in suppressed):
-                    per_copy(envelope, recipient, delivery)
-        self._staged = []
-        self._staged_ids = set()
-        self._suppressed = set()
+                sender = envelope.sender
+                for recipient in range(n):
+                    if recipient != sender:
+                        per_copy(envelope, recipient, delivery)
+        self._reset_window()
 
-    def is_suppressed(self, envelope: Envelope, recipient: NodeId) -> bool:
-        return (envelope.envelope_id, recipient) in self._suppressed
-
-    def deliver(self) -> Dict[NodeId, List[Delivery]]:
+    def deliver(self) -> RoundInboxes:
         """Deliver all staged messages and start a new staging window.
 
         Delivery order is deterministic: envelopes are staged in id
         (= send) order and delivered in that order, so repeated runs
-        replay exactly.  A multicast shares one frozen :class:`Delivery`
-        across all recipients instead of materializing ``n`` copies, and
-        the per-copy suppression lookup is skipped entirely when nothing
-        was suppressed this round (the common case).  The inline
-        expansion below is the hot-path twin of :meth:`_drain_staged`;
-        keep the two in sync.
+        replay exactly.  A multicast contributes one shared entry (and
+        one frozen :class:`Delivery`) to the returned
+        :class:`RoundInboxes` instead of ``n`` eager appends; recipients
+        see it when their lazy inbox view materializes.
         """
-        inboxes: Dict[NodeId, List[Delivery]] = {node: [] for node in range(self.n)}
-        suppressed = self._suppressed
-        for envelope in self._staged:
-            sender = envelope.sender
-            delivery = Delivery(sender=sender, payload=envelope.payload)
-            if envelope.is_multicast:
-                if suppressed:
-                    envelope_id = envelope.envelope_id
-                    for recipient in range(self.n):
-                        if (recipient == sender
-                                or (envelope_id, recipient) in suppressed):
-                            continue
-                        inboxes[recipient].append(delivery)
-                else:
-                    for recipient in range(self.n):
-                        if recipient != sender:
-                            inboxes[recipient].append(delivery)
-            else:
-                recipient = envelope.recipient
-                if recipient != sender and not (
-                        suppressed
-                        and (envelope.envelope_id, recipient) in suppressed):
-                    inboxes[recipient].append(delivery)
-        self._staged = []
-        self._staged_ids = set()
-        self._suppressed = set()
+        entries = [
+            (envelope.sender, envelope.recipient, delivery, blocked)
+            for envelope, delivery, blocked in self._surviving_entries()
+        ]
+        self._reset_window()
         self._delivered_round += 1
-        return inboxes
+        return RoundInboxes(self.n, entries)
+
+
+def legacy_deliver(network: SynchronousNetwork) -> Dict[NodeId, List[Delivery]]:
+    """Reference implementation of delivery: eager per-recipient expansion.
+
+    Kept (as a test helper, not production code) so differential tests
+    can assert the batched :meth:`SynchronousNetwork.deliver` produces
+    exactly what the historical O(n²) eager path produced.  Consumes the
+    staging window through the same :meth:`~SynchronousNetwork._drain_staged`
+    per-copy contract the conditioned network uses.
+    """
+    inboxes: Dict[NodeId, List[Delivery]] = {
+        node: [] for node in range(network.n)}
+    network._drain_staged(
+        lambda envelope, recipient, delivery: inboxes[recipient].append(delivery))
+    network._delivered_round += 1
+    return inboxes

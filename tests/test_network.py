@@ -94,6 +94,32 @@ class TestSuppression:
         network.suppress(envelope, recipient=1)
         assert network.deliver()[1] == []
 
+    def test_full_suppression_is_a_single_marker(self):
+        """``suppress(envelope)`` stores one ``None`` sentinel — not one
+        entry per node, and in particular no entry for the sender, whose
+        copy never existed (a sender does not receive its own message)."""
+        network = SynchronousNetwork(4)
+        envelope = network.stage(1, None, "m", 0, honest_sender=True)
+        network.suppress(envelope)
+        assert network._suppressed[envelope.envelope_id] is None
+        assert all(network.is_suppressed(envelope, node)
+                   for node in range(4))
+
+    def test_full_suppression_absorbs_per_recipient_suppression(self):
+        network = SynchronousNetwork(4)
+        envelope = network.stage(0, None, "m", 0, honest_sender=True)
+        network.suppress(envelope)
+        network.suppress(envelope, recipient=2)  # already covered
+        assert network._suppressed[envelope.envelope_id] is None
+        assert all(network.deliver()[node] == [] for node in range(4))
+
+    def test_per_recipient_then_full_suppression(self):
+        network = SynchronousNetwork(4)
+        envelope = network.stage(0, None, "m", 0, honest_sender=True)
+        network.suppress(envelope, recipient=1)
+        network.suppress(envelope)
+        assert all(network.deliver()[node] == [] for node in range(4))
+
 
 class TestTranscript:
     def test_transcript_records_everything(self):

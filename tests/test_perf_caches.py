@@ -69,8 +69,16 @@ class TestCertificateCacheSoundness:
             return original(node_id, topic, auth)
 
         node.config.authenticator.check = counting
-        second = certificate_from_votes(1, 1, dict(votes),
-                                        node.config.threshold)
+        # Built by hand: certificate_from_votes itself interns assembly,
+        # so it would return ``first``.  The content cache must still
+        # cover genuinely distinct content-equal objects (e.g. arriving
+        # from an adversary that bypasses the assembly path).
+        second = Certificate(
+            iteration=1, bit=1,
+            votes=tuple(
+                SignedVote(iteration=1, bit=1, voter=voter, auth=auth)
+                for voter, auth in
+                sorted(votes.items())[:node.config.threshold]))
         assert second is not first and second == first
         assert node._check_certificate(second)
         assert counted == []  # pure cache hit
