@@ -39,6 +39,8 @@ REQUIRED_LINKS = (
     ("docs/ARCHITECTURE.md", "docs/PROTOCOLS.md"),
     ("docs/ARCHITECTURE.md", "docs/RESULTS.md"),
     ("docs/NETWORK.md", "docs/PROTOCOLS.md"),
+    ("docs/NETWORK.md", "docs/PERFORMANCE.md"),
+    ("docs/PERFORMANCE.md", "docs/NETWORK.md"),
     ("docs/SCENARIOS.md", "docs/PROTOCOLS.md"),
     ("docs/SCENARIOS.md", "docs/RESULTS.md"),
     ("docs/PROTOCOLS.md", "docs/NETWORK.md"),

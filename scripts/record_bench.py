@@ -208,6 +208,91 @@ def profile_early_stop(n: int = 96, f: int = 31, seed: int = 1) -> dict:
     }
 
 
+def profile_event_engine_wan(n: int = 8, f: int = 3,
+                             deltas=(32, 128, 512), trials: int = 12) -> dict:
+    """The event engine pays for itself on sparse-latency topologies.
+
+    The responsiveness scenario (Momose–Ren): a conservatively large Δ
+    bound over links that actually deliver in 1–3 ticks (fixed latency 1
+    plus a clustered cross-pod surcharge), so almost every network tick
+    is idle.  The Δ-lockstep synchronizer executes those ticks as no-ops
+    — its wall clock grows linearly with Δ — while the event engine
+    jumps between due timestamps and stays flat.  Sweeps quadratic BA
+    across a Δ grid under both conditioned loops, asserting per-seed
+    result identity (outputs, rounds, transcripts, NetworkStats — the
+    differential-conformance contract) at every point and a >= 2x
+    wall-clock win at the sparsest point.  The sparsest point also
+    records both phase budgets: the lock-step run's ``scheduler`` bucket
+    is where the per-tick churn shows up, and it collapses under the
+    event engine.
+    """
+    from repro.harness import run_instance
+    from repro.sim.conditions import LinkTopology, NetworkConditions
+
+    inputs = [i % 2 for i in range(n)]
+    points = []
+    for delta in deltas:
+        conditions = NetworkConditions(
+            delta=delta, latency=("fixed", 1),
+            topology=LinkTopology.clustered(clusters=4, extra=2))
+
+        def timed_sweep(scheduler):
+            start = time.perf_counter()
+            results = []
+            for seed in range(trials):
+                instance = build_quadratic_ba(n, f, inputs, seed=seed)
+                results.append(run_instance(
+                    instance, f, seed=seed, conditions=conditions,
+                    scheduler=scheduler))
+            return results, time.perf_counter() - start
+
+        event, event_wall = timed_sweep("event")
+        lockstep, lockstep_wall = timed_sweep("lockstep")
+        for ev, lk in zip(event, lockstep):
+            assert (ev.outputs == lk.outputs
+                    and ev.rounds_executed == lk.rounds_executed
+                    and ev.transcript == lk.transcript
+                    and ev.network_stats == lk.network_stats
+                    and ev.consistent() and ev.all_decided()), \
+                f"event engine diverged from lock-step at delta={delta}"
+        stats = event[0].network_stats
+        points.append({
+            "delta": delta,
+            "wall_seconds_lockstep": round(lockstep_wall, 4),
+            "wall_seconds_event": round(event_wall, 4),
+            "speedup": round(lockstep_wall / event_wall, 2),
+            "network_rounds": stats.network_rounds,
+            "skipped_ticks": stats.skipped_ticks,
+            "events_processed": stats.events_processed,
+            "skip_density": round(
+                stats.skipped_ticks / stats.network_rounds, 3),
+            "results_identical": True,
+        })
+    assert points[-1]["speedup"] >= 2.0, \
+        f"event engine win eroded: {points[-1]['speedup']}x at the " \
+        f"sparsest point (need >= 2x)"
+
+    sparsest = NetworkConditions(
+        delta=deltas[-1], latency=("fixed", 1),
+        topology=LinkTopology.clustered(clusters=4, extra=2))
+    budgets = {}
+    for scheduler in ("lockstep", "event"):
+        instance = build_quadratic_ba(n, f, inputs, seed=1)
+        budget = profile_phase_budget(instance, f, seed=1,
+                                      conditions=sparsest,
+                                      scheduler=scheduler)
+        budgets[scheduler] = budget.budget_dict()
+    return {
+        "n": n,
+        "f": f,
+        "trials": trials,
+        "latency": "fixed-1 + clustered(4,+2) surcharge",
+        "points": points,
+        "budget_sparsest_lockstep": budgets["lockstep"],
+        "budget_sparsest_event": budgets["event"],
+    }
+
+
 def profile_sweep(name: str = "adversary-grid") -> dict:
     """One named sweep, with and without the shared lottery cache."""
     from repro.harness.scenarios import run_sweep
@@ -294,6 +379,7 @@ def main() -> None:
         "scaling-curve": profile_scaling_curve(),
         "sweep-adversary-grid": profile_sweep("adversary-grid"),
         "network-fast-path-n96": profile_network_fast_path(96, 47),
+        "event-engine-wan": profile_event_engine_wan(),
         "early-stop-n96-lan": profile_early_stop(96, 31),
         "store-replay-smoke": profile_store("smoke"),
     }
@@ -332,6 +418,14 @@ def main() -> None:
                   f"unshared), {profile['lottery_hits']}/"
                   f"{profile['lottery_coins'] + profile['lottery_hits']} "
                   f"flips served from cache")
+        elif "points" in profile:
+            curve = " ".join(
+                f"Δ={p['delta']}:{p['speedup']}x"
+                for p in profile["points"])
+            densest = profile["points"][-1]
+            print(f"  {name}: event vs lockstep {curve} "
+                  f"(skip density {densest['skip_density']} at "
+                  f"Δ={densest['delta']}; all points result-identical)")
         elif "rounds_saved" in profile:
             print(f"  {name}: {profile['rounds_executed_early_stop']} rounds "
                   f"({profile['wall_seconds_early_stop']}s) vs fixed budget "

@@ -15,8 +15,10 @@ import repro.sim.engine as _engine_mod
 import repro.sim.metrics as _metrics_mod
 from repro.harness.runner import run_instance
 from repro.protocols.base import ProtocolInstance
+from repro.sim.conditions import ConditionedNetwork, NetworkConditions
 from repro.sim.network import SynchronousNetwork
 from repro.sim.result import ExecutionResult
+from typing import Optional
 
 
 @dataclass
@@ -62,12 +64,18 @@ class PhaseBudget:
     """Wall time of one execution attributed to its hot-path phases.
 
     The buckets decompose the wall clock:
-    ``wall ≈ deliver + protocol + verify + sizing + other``.
+    ``wall ≈ deliver + scheduler + protocol + verify + sizing + other``.
 
     - **deliver** — ``SynchronousNetwork.deliver`` proper.  Delivery is
       lazy, so this is the staging-window turnover; the per-node inbox
       materialization runs when the protocol step first reads an inbox
       and lands in *protocol*.
+    - **scheduler** — the conditioned network's event-queue machinery
+      (``ConditionedNetwork.advance_to``: staging-window drain into the
+      timestamp heap, latency/drop coin draws, due-event pops).  Zero
+      for unconditioned executions; under the lock-step synchronizer it
+      additionally absorbs the per-tick no-op churn the event engine
+      skips.
     - **verify** — ``authenticator.check`` (the cryptographic predicate,
       wherever invoked: node handlers, sandboxed corrupt nodes, the
       memoization layer on a miss).
@@ -81,6 +89,7 @@ class PhaseBudget:
     result: ExecutionResult
     wall_seconds: float
     deliver_seconds: float
+    scheduler_seconds: float
     protocol_seconds: float
     verify_seconds: float
     sizing_seconds: float
@@ -92,6 +101,7 @@ class PhaseBudget:
         return {
             "wall_seconds": round(self.wall_seconds, 4),
             "deliver_seconds": round(self.deliver_seconds, 4),
+            "scheduler_seconds": round(self.scheduler_seconds, 4),
             "protocol_seconds": round(self.protocol_seconds, 4),
             "verify_seconds": round(self.verify_seconds, 4),
             "sizing_seconds": round(self.sizing_seconds, 4),
@@ -100,25 +110,36 @@ class PhaseBudget:
         }
 
 
-def profile_phase_budget(instance: ProtocolInstance, f: int,
-                         seed=0) -> PhaseBudget:
-    """Run ``instance`` attributing wall time to deliver / protocol-step /
-    verify / sizing.
+def profile_phase_budget(instance: ProtocolInstance, f: int, seed=0,
+                         conditions: Optional[NetworkConditions] = None,
+                         scheduler: Optional[str] = None) -> PhaseBudget:
+    """Run ``instance`` attributing wall time to deliver / scheduler /
+    protocol-step / verify / sizing.
 
-    Instrumentation wraps the four seams the phases flow through:
+    ``conditions``/``scheduler`` run the execution under network
+    conditions with an explicit conditioned loop (``"event"`` /
+    ``"lockstep"``) — the A/B axis of the event-engine benchmark.
+
+    Instrumentation wraps the five seams the phases flow through:
     ``SynchronousNetwork.deliver`` (class-level — the network is built
-    inside the engine), ``Simulation._honest_step`` (class-level),
-    the metrics module's ``encoded_size_bits`` binding, and the
-    instance's ``authenticator.check``.  All wrappers are restored on
-    exit; the function is not reentrant (profile one execution at a
-    time).  Verify/sizing time inside the honest step is subtracted from
-    the *protocol* bucket so the buckets stay disjoint.
+    inside the engine), ``ConditionedNetwork.advance_to`` (class-level —
+    the event-queue turnover both conditioned loops funnel through),
+    ``Simulation._honest_step`` (class-level), the metrics module's
+    ``encoded_size_bits`` binding, and the instance's
+    ``authenticator.check``.  All wrappers are restored on exit; the
+    function is not reentrant (profile one execution at a time).
+    Verify/sizing time inside the honest step is subtracted from the
+    *protocol* bucket so the buckets stay disjoint; ``ConditionedNetwork``
+    overrides ``deliver`` (so conditioned turnover never lands in the
+    *deliver* bucket) and the lock-step wrapper's own ``advance_to``
+    calls land in *scheduler*, keeping those two disjoint as well.
     """
-    state = {"deliver": 0.0, "step": 0.0, "verify": 0.0, "sizing": 0.0,
-             "nested": 0.0, "in_step": False, "checks": 0}
+    state = {"deliver": 0.0, "scheduler": 0.0, "step": 0.0, "verify": 0.0,
+             "sizing": 0.0, "nested": 0.0, "in_step": False, "checks": 0}
     perf_counter = time.perf_counter
 
     orig_deliver = SynchronousNetwork.deliver
+    orig_advance = ConditionedNetwork.advance_to
     orig_step = _engine_mod.Simulation._honest_step
     orig_size = _metrics_mod.encoded_size_bits
     authenticator = instance.services["authenticator"]
@@ -128,6 +149,12 @@ def profile_phase_budget(instance: ProtocolInstance, f: int,
         start = perf_counter()
         out = orig_deliver(self)
         state["deliver"] += perf_counter() - start
+        return out
+
+    def timed_advance(self, round_index):
+        start = perf_counter()
+        out = orig_advance(self, round_index)
+        state["scheduler"] += perf_counter() - start
         return out
 
     def timed_step(self, round_index, inboxes):
@@ -159,26 +186,30 @@ def profile_phase_budget(instance: ProtocolInstance, f: int,
         return out
 
     SynchronousNetwork.deliver = timed_deliver
+    ConditionedNetwork.advance_to = timed_advance
     _engine_mod.Simulation._honest_step = timed_step
     _metrics_mod.encoded_size_bits = timed_size
     authenticator.check = timed_check
     try:
         start = perf_counter()
-        result = run_instance(instance, f, seed=seed)
+        result = run_instance(instance, f, seed=seed,
+                              conditions=conditions, scheduler=scheduler)
         wall = perf_counter() - start
     finally:
         SynchronousNetwork.deliver = orig_deliver
+        ConditionedNetwork.advance_to = orig_advance
         _engine_mod.Simulation._honest_step = orig_step
         _metrics_mod.encoded_size_bits = orig_size
         del authenticator.check
 
     protocol = max(0.0, state["step"] - state["nested"])
-    other = max(0.0, wall - state["deliver"] - protocol
+    other = max(0.0, wall - state["deliver"] - state["scheduler"] - protocol
                 - state["verify"] - state["sizing"])
     return PhaseBudget(
         result=result,
         wall_seconds=wall,
         deliver_seconds=state["deliver"],
+        scheduler_seconds=state["scheduler"],
         protocol_seconds=protocol,
         verify_seconds=state["verify"],
         sizing_seconds=state["sizing"],

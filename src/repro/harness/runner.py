@@ -31,8 +31,16 @@ def run_instance(
     max_rounds: Optional[int] = None,
     transcript_retention: str = TRANSCRIPT_FULL,
     conditions: Optional[NetworkConditions] = None,
+    scheduler: Optional[str] = None,
 ) -> ExecutionResult:
-    """Execute one protocol instance against one adversary."""
+    """Execute one protocol instance against one adversary.
+
+    ``scheduler`` selects the conditioned-execution loop (``"event"`` /
+    ``"lockstep"``; ``None`` = the engine default, overridable via
+    ``REPRO_SCHEDULER``) — the two are result-identical by the
+    conformance suite, so this knob only matters for A/B timing and the
+    differential tests themselves.
+    """
     simulation = Simulation(
         nodes=instance.nodes,
         corruption_budget=f,
@@ -45,6 +53,7 @@ def run_instance(
         mining_capabilities=instance.mining_capabilities,
         transcript_retention=transcript_retention,
         conditions=conditions,
+        scheduler=scheduler,
     )
     return simulation.run()
 
@@ -176,6 +185,21 @@ class TrialStats:
     def dropped_copies(self) -> int:
         """Total pre-GST copy drops across conditioned trials."""
         return self._network.dropped_copies
+
+    @property
+    def skipped_ticks(self) -> int:
+        """Total idle network ticks across conditioned trials — the
+        rounds the event engine skips outright (and the lock-step
+        synchronizer executes as no-ops; the count is engine-invariant).
+        Their share of ``network.network_rounds`` is the empty-round
+        density the event engine's wall-clock win tracks."""
+        return self._network.skipped_ticks
+
+    @property
+    def events_processed(self) -> int:
+        """Total delivery-queue events across conditioned trials
+        (schedules, pre-GST duplicates, partition re-queues)."""
+        return self._network.events_processed
 
     def decision_rounds(self) -> List[int]:
         rounds: List[int] = []

@@ -574,6 +574,13 @@ def _stats_metrics(stats: TrialStats,
         metrics["mean_delivery_latency"] = stats.mean_delivery_latency
         metrics["max_in_flight"] = stats.max_in_flight
         metrics["dropped_copies"] = stats.dropped_copies
+        # Scheduler accounting.  Both columns are engine-invariant (the
+        # lock-step synchronizer executes the idle ticks the event
+        # engine skips, and counts the same number), so artifacts stay
+        # byte-identical across schedulers — the CI event-engine-smoke
+        # job cmp's them directly.
+        metrics["skipped_ticks"] = stats.skipped_ticks
+        metrics["events_processed"] = stats.events_processed
     # Likewise the rounds-saved column appears only for the early-stop
     # protocol variants, whose whole point it measures.
     if early_stopping:

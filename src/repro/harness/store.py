@@ -78,7 +78,9 @@ from repro.errors import ConfigurationError
 #: without changing any cell binding (protocol/engine semantics, the
 #: metrics schema, rebinding a registry key to a different builder) —
 #: every record in every store is invalidated at once.
-STORE_SALT = "ba-repro-store-v1"
+STORE_SALT = "ba-repro-store-v2"  # v2: event engine; conditioned cells
+#                                   gained skipped_ticks/events_processed
+#                                   columns, so v1 records must miss.
 
 #: On-disk record schema version (independent of the salt: a schema
 #: bump changes how records are *read*, a salt bump what they *mean*).

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
@@ -473,6 +474,19 @@ class NetworkStats:
     max_in_flight: int = 0
     #: Network rounds the conditioned engine executed.
     network_rounds: int = 0
+    #: Idle network ticks: rounds in which the network neither drained a
+    #: staging window nor popped a due event.  The event engine skips
+    #: them outright; the lock-step synchronizer executes them as no-ops
+    #: and counts the same rounds — so the field is engine-invariant and
+    #: the conformance suite compares it directly.  Its ratio to
+    #: ``network_rounds`` is the empty-round density the event engine's
+    #: wall-clock win is proportional to.
+    skipped_ticks: int = 0
+    #: Delivery-queue events processed: one per copy entering the
+    #: timestamp-ordered queue (initial schedules, pre-GST duplicates,
+    #: and partition re-queues at heal time).  Engine-invariant for the
+    #: same reason as ``skipped_ticks``.
+    events_processed: int = 0
 
     @property
     def mean_delivery_latency(self) -> float:
@@ -494,6 +508,8 @@ class NetworkStats:
         self.latency_total += other.latency_total
         self.max_in_flight = max(self.max_in_flight, other.max_in_flight)
         self.network_rounds += other.network_rounds
+        self.skipped_ticks += other.skipped_ticks
+        self.events_processed += other.events_processed
 
 
 @dataclass
@@ -516,6 +532,18 @@ class ConditionedNetwork(SynchronousNetwork):
     a delivery round drawn deterministically from the trial seed, subject
     to the GST/Δ clamps, pre-GST drops and duplication, scheduled
     partitions, and any adversarial delays registered this round.
+
+    Scheduled copies live in one timestamp-ordered priority queue whose
+    entries sort by ``(due_round, seq, recipient)`` — ``seq`` is a
+    monotone insertion counter, so ties at the same round pop in exactly
+    the order copies entered the queue (staging order with recipients
+    ascending, partition re-queues after them).  That is precisely the
+    per-round list order the historical dict-of-rounds kept, which is
+    what makes the event engine's executions result-identical to the
+    Δ-lockstep synchronizer's.  Deferred copies carry their heal round
+    as their new timestamp and re-enter the queue in O(log n); nothing
+    re-scans the schedule per tick, and :meth:`next_due_round` exposes
+    the queue head so the event engine can skip idle ticks entirely.
     """
 
     def __init__(self, n: int, conditions: NetworkConditions,
@@ -526,9 +554,10 @@ class ConditionedNetwork(SynchronousNetwork):
         self.conditions = conditions
         self.stats = NetworkStats()
         self._rng = derive_rng(seed, "network-conditions")
-        #: Scheduled copies keyed by delivery round.
-        self._pending: Dict[Round, List[_PendingCopy]] = {}
-        self._pending_count = 0
+        #: The delivery event queue: a heap of
+        #: ``(due_round, seq, recipient, copy)`` entries.
+        self._queue: List[Tuple[Round, int, NodeId, _PendingCopy]] = []
+        self._seq = 0
         #: Extra rounds requested by the adversary for in-flight copies,
         #: keyed by (envelope_id, recipient) — recipient None = all.
         self._extra_delay: Dict[Tuple[int, Optional[NodeId]], int] = {}
@@ -593,15 +622,20 @@ class ConditionedNetwork(SynchronousNetwork):
         for _ in range(copies):
             due = sent_round + self._copy_delay(envelope, recipient,
                                                 sent_round)
-            self._pending.setdefault(due, []).append(_PendingCopy(
+            self._enqueue(due, _PendingCopy(
                 envelope=envelope, recipient=recipient,
                 sent_round=sent_round, due_round=due, delivery=delivery))
-            self._pending_count += 1
+
+    def _enqueue(self, due_round: Round, copy: _PendingCopy) -> None:
+        heappush(self._queue, (due_round, self._seq, copy.recipient, copy))
+        self._seq += 1
+        self.stats.events_processed += 1
 
     def _defer(self, copy: _PendingCopy, heal_round: Round) -> None:
+        # The deferred copy carries its heal round as its timestamp and
+        # re-enters the queue behind everything already due then.
         copy.due_round = heal_round
-        self._pending.setdefault(heal_round, []).append(copy)
-        self._pending_count += 1
+        self._enqueue(heal_round, copy)
         self.stats.deferred_copies += 1
 
     def _blocking_partition(self, copy: _PendingCopy,
@@ -614,7 +648,75 @@ class ConditionedNetwork(SynchronousNetwork):
 
     def has_pending(self) -> bool:
         """Whether any scheduled copy is still awaiting delivery."""
-        return self._pending_count > 0
+        return bool(self._queue)
+
+    def next_due_round(self) -> Optional[Round]:
+        """Timestamp of the earliest queued delivery event (``None`` when
+        the queue is empty) — the event engine's skip-ahead horizon."""
+        return self._queue[0][0] if self._queue else None
+
+    def advance_to(self, round_index: Round) -> List[_PendingCopy]:
+        """Jump the network clock straight to ``round_index`` and execute
+        that round: drain the staging window into the event queue, then
+        pop every copy due now, returning the surviving ones in queue
+        order (partition-blocked copies re-enter at their heal round).
+
+        The skipped ticks are exactly the rounds the Δ-lockstep
+        synchronizer would have executed as no-ops — no staged window to
+        drain, no due event to pop, no coin to draw — so jumping over
+        them leaves the RNG stream, the schedule, and every
+        :class:`NetworkStats` field identical; they are accounted in
+        ``stats.skipped_ticks`` just as the lock-step path counts its
+        idle rounds.
+        """
+        jumped = round_index - self._delivered_round - 1
+        if jumped < 0:
+            raise SimulationError(
+                f"network clock cannot move backwards "
+                f"(at {self._delivered_round}, asked for {round_index})")
+        stats = self.stats
+        stats.skipped_ticks += jumped
+
+        sent_round = max(self._delivered_round, 0)  # senders' round
+        worked = bool(self._staged)
+
+        def schedule(envelope: Envelope, recipient: NodeId,
+                     delivery: Delivery) -> None:
+            self._schedule_copy(envelope, recipient, sent_round, delivery)
+
+        self._drain_staged(schedule)
+        self._extra_delay = {}
+        self._delivered_round = round_index
+
+        stats.network_rounds = round_index + 1
+        stats.max_in_flight = max(stats.max_in_flight, len(self._queue))
+
+        queue = self._queue
+        delivered: List[_PendingCopy] = []
+        while queue and queue[0][0] <= round_index:
+            copy = heappop(queue)[3]
+            worked = True
+            partition = self._blocking_partition(copy, round_index)
+            if partition is not None:
+                self._defer(copy, partition.end)
+                continue
+            delivered.append(copy)
+            stats.delivered_copies += 1
+            stats.latency_total += round_index - copy.sent_round
+        if not worked:
+            stats.skipped_ticks += 1
+        return delivered
+
+    def finish_clock(self, network_rounds: Round) -> None:
+        """Account the idle tail between the last executed tick and the
+        round limit — the lock-step loop runs its clock all the way out,
+        so an event-engine execution that exhausts its round budget must
+        do the same for ``network_rounds``/``skipped_ticks`` to agree."""
+        tail = network_rounds - self._delivered_round - 1
+        if tail > 0:
+            self.stats.skipped_ticks += tail
+            self.stats.network_rounds = network_rounds
+            self._delivered_round = network_rounds - 1
 
     def deliver(self) -> Dict[NodeId, List[Delivery]]:
         """Advance one network round: schedule this round's staged
@@ -623,34 +725,14 @@ class ConditionedNetwork(SynchronousNetwork):
         Determinism: envelopes are scheduled in staging (= id) order with
         recipients ascending, all coins come from one labelled RNG stream
         derived from the trial seed, and due copies are delivered in
-        scheduling order — so identical seeds and conditions replay
-        byte-identically.
+        queue order — so identical seeds and conditions replay
+        byte-identically.  This is the Δ-lockstep synchronizer's per-tick
+        entry point; the event engine calls :meth:`advance_to` directly
+        and skips the idle ticks this method would spend returning empty
+        inboxes.
         """
-        sent_round = max(self._delivered_round, 0)  # senders' round
-
-        def schedule(envelope: Envelope, recipient: NodeId,
-                     delivery: Delivery) -> None:
-            self._schedule_copy(envelope, recipient, sent_round, delivery)
-
-        self._drain_staged(schedule)
-        self._extra_delay = {}
-        self._delivered_round += 1
-        round_index = self._delivered_round
-
-        stats = self.stats
-        stats.network_rounds = round_index + 1
-        stats.max_in_flight = max(stats.max_in_flight, self._pending_count)
-
         inboxes: Dict[NodeId, List[Delivery]] = {
             node: [] for node in range(self.n)}
-        due = self._pending.pop(round_index, [])
-        self._pending_count -= len(due)
-        for copy in due:
-            partition = self._blocking_partition(copy, round_index)
-            if partition is not None:
-                self._defer(copy, partition.end)
-                continue
+        for copy in self.advance_to(self._delivered_round + 1):
             inboxes[copy.recipient].append(copy.delivery)
-            stats.delivered_copies += 1
-            stats.latency_total += round_index - copy.sent_round
         return inboxes

@@ -182,6 +182,11 @@ class SynchronousNetwork:
         """Envelopes staged this round (the rushing adversary's view)."""
         return list(self._staged)
 
+    def has_staged(self) -> bool:
+        """Whether the current staging window holds any envelope (the
+        event engine must execute the very next tick when it does)."""
+        return bool(self._staged)
+
     def is_suppressed(self, envelope: Envelope, recipient: NodeId) -> bool:
         blocked = self._suppressed.get(envelope.envelope_id, _NONE_BLOCKED)
         return True if blocked is None else recipient in blocked

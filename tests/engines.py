@@ -1,0 +1,22 @@
+"""The engine axis for conditioned-execution tests.
+
+Conditioned executions run under one of two result-identical loops (see
+``repro.sim.engine``): the Δ-lockstep synchronizer (``"lockstep"``, the
+historical reference) and the event-driven scheduler (``"event"``, the
+default).  Tests that exercise partial-synchrony behavior should make
+their claims on *both* — a regression that only breaks one loop must not
+hide behind whichever one the suite happens to run.  Decorate with
+:data:`both_engines` and pass the ``engine`` argument through to
+``run_instance(..., scheduler=engine)``.
+"""
+
+import pytest
+
+from repro.sim.engine import SCHEDULER_EVENT, SCHEDULER_LOCKSTEP
+
+#: Every conditioned-execution loop, lock-step reference first.
+ENGINES = (SCHEDULER_LOCKSTEP, SCHEDULER_EVENT)
+
+#: ``@both_engines`` parametrizes a test over the engine axis; the test
+#: receives the scheduler name as its ``engine`` argument.
+both_engines = pytest.mark.parametrize("engine", ENGINES)
