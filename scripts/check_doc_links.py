@@ -49,6 +49,15 @@ REQUIRED_LINKS = (
     ("docs/RESULTS.md", "docs/PERFORMANCE.md"),
     ("docs/ARCHITECTURE.md", "docs/PERFORMANCE.md"),
     ("docs/PERFORMANCE.md", "docs/ARCHITECTURE.md"),
+    # The service/backend pass: the store page documents the service
+    # and its backends, so it must stay wired to the pages that explain
+    # what the cells contain — and the README must reach it from the
+    # service quickstart.
+    ("README.md", "docs/SCENARIOS.md"),
+    ("README.md", "docs/NETWORK.md"),
+    ("docs/RESULTS.md", "docs/ARCHITECTURE.md"),
+    ("docs/RESULTS.md", "docs/NETWORK.md"),
+    ("docs/RESULTS.md", "docs/PROTOCOLS.md"),
 )
 
 

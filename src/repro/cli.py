@@ -38,6 +38,22 @@ report the rounds saved against their budget::
     python -m repro run --protocol phase-king-early-stop -n 40 -f 13 \\
         --network lan --topology clustered
 
+``serve`` — run the experiment service: a long-running HTTP API over a
+shared (by default SQLite/WAL, concurrency-safe) experiment store, with
+a persistent worker pool draining submitted sweeps cell by cell and the
+results book served as live HTML (see ``docs/RESULTS.md``)::
+
+    python -m repro serve --store repro.sqlite --workers 4 --port 8765
+
+``submit`` / ``status`` — the matching client: submit a sweep over HTTP
+(optionally waiting and streaming per-cell progress), and inspect job
+records::
+
+    python -m repro submit smoke --wait
+    python -m repro submit comm-vs-n --network lan --no-wait
+    python -m repro status                      # newest jobs
+    python -m repro status 20260807T120000Z-ab12cd34
+
 ``params`` — concrete parameter selection (the λ = ω(log κ) inversion)::
 
     python -m repro params -n 2000 --corrupt 0.3 --target 1e-9
@@ -110,6 +126,9 @@ def _epilog() -> str:
         "see docs/SCENARIOS.md), "
         "report (results book from an experiment store; see "
         "docs/RESULTS.md), "
+        "serve (the experiment service: sweeps over HTTP against a "
+        "concurrency-safe store), "
+        "submit/status (the service client), "
         f"run (one execution; protocols: {', '.join(sorted(PROTOCOLS))}), "
         "params (λ selection)")
 
@@ -179,6 +198,56 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="a previous book's .json snapshot; the book "
                           "gains per-sweep deltas against it")
 
+    serve = sub.add_parser(
+        "serve", help="run the experiment service (sweeps over HTTP)")
+    serve.add_argument("--store", default="repro.sqlite", metavar="PATH",
+                       help="experiment store to serve: *.sqlite/*.db "
+                            "selects the concurrency-safe SQLite (WAL) "
+                            "backend, anything else a JSON tree "
+                            "(default: repro.sqlite)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1; the API "
+                            "is unauthenticated — do not expose it)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="persistent worker threads draining cells")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+
+    submit = sub.add_parser(
+        "submit", help="submit a sweep to a running experiment service")
+    submit.add_argument("name", help="sweep name (see sweep --list)")
+    submit.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service base URL")
+    submit.add_argument("--network", choices=sorted(NETWORKS),
+                        default=None,
+                        help="force these network conditions onto every "
+                             "scenario (as sweep --network)")
+    submit.add_argument("--topology", choices=sorted(TOPOLOGIES),
+                        default=None,
+                        help="force this latency topology onto every "
+                             "scenario (as sweep --topology)")
+    submit.add_argument("--no-shared-lottery", action="store_true",
+                        help="key the cells as if the shared lottery "
+                             "cache were disabled (as sweep "
+                             "--no-shared-lottery)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and return immediately "
+                             "instead of streaming progress to "
+                             "completion")
+    submit.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="give up waiting after this long (the job "
+                             "keeps running server-side)")
+
+    status = sub.add_parser(
+        "status", help="show experiment-service job status")
+    status.add_argument("job", nargs="?", default=None,
+                        help="job id (omit to list recent jobs)")
+    status.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service base URL")
+
     run = sub.add_parser("run", help="run one protocol execution")
     run.add_argument("--protocol", choices=sorted(PROTOCOLS),
                      default="subquadratic")
@@ -229,7 +298,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.harness.scenarios import run_sweep
-    from repro.harness.sweep_library import SWEEPS
+    from repro.harness.sweep_library import SWEEPS, resolve_sweep
 
     if args.list_sweeps:
         for name in sorted(SWEEPS):
@@ -238,28 +307,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.name is None:
         print("sweep: name required (or --list)", file=sys.stderr)
         return 2
-    if args.name not in SWEEPS:
-        print(f"sweep: unknown sweep {args.name!r} "
-              f"(have: {', '.join(sorted(SWEEPS))})", file=sys.stderr)
+    try:
+        sweep = resolve_sweep(args.name, network=args.network,
+                              topology=args.topology)
+    except ConfigurationError as error:
+        print(f"sweep: {error}", file=sys.stderr)
         return 2
-    sweep = SWEEPS[args.name]
-    forced = {}
-    if args.network is not None:
-        forced["network"] = args.network
-    if args.topology is not None:
-        forced["topology"] = args.topology
-    if forced:
-        # Force the bindings onto every scenario: fixed bindings are
-        # overridden by grid axes of the same name, so drop any grid
-        # axis of the same name rather than silently losing the flag.
-        import dataclasses as _dataclasses
-        sweep = _dataclasses.replace(sweep, scenarios=tuple(
-            _dataclasses.replace(
-                scenario,
-                grid={axis: values for axis, values in scenario.grid.items()
-                      if axis not in forced},
-                fixed={**scenario.fixed, **forced})
-            for scenario in sweep.scenarios))
     store = None
     if args.store is not None or args.resume:
         from repro.harness.store import DEFAULT_STORE_DIR, ExperimentStore
@@ -340,6 +393,95 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.harness.service.app import serve
+    from repro.harness.store import ExperimentStore
+
+    store = ExperimentStore(args.store)
+    try:
+        serve(store, host=args.host, port=args.port,
+              workers=args.workers, verbose=not args.quiet)
+    except ConfigurationError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"serve: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    finally:
+        store.close()
+    return 0
+
+
+def _job_line(record: dict) -> str:
+    settled = record["replayed"] + record["computed"] \
+        + record["failed_cells"]
+    line = (f"{record['id']}  {record['state']:7s} "
+            f"{record['sweep']:20s} {settled}/{record['total']} cells "
+            f"({record['replayed']} replayed, {record['computed']} "
+            f"computed")
+    if record["failed_cells"]:
+        line += f", {record['failed_cells']} FAILED"
+    return line + ")"
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.harness.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        job_id = client.submit(
+            args.name, share_lottery=not args.no_shared_lottery,
+            network=args.network, topology=args.topology)
+        print(f"submitted job {job_id}")
+        if args.no_wait:
+            return 0
+
+        def show(event: dict) -> None:
+            print(f"  [{event['index'] + 1:3d}] {event['status']:9s} "
+                  f"{event['label']}")
+
+        record = client.wait(job_id, on_event=show,
+                             max_wait=args.timeout)
+    except ServiceError as error:
+        print(f"submit: {error}", file=sys.stderr)
+        return 2
+    print(_job_line(record))
+    if record["state"] == "failed":
+        if record.get("error"):
+            print(record["error"], file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.harness.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job is None:
+            records = client.jobs()
+            if not records:
+                print("no jobs recorded")
+                return 0
+            for record in records:
+                print(_job_line(record))
+            return 0
+        record = client.job(args.job)
+    except ServiceError as error:
+        print(f"status: {error}", file=sys.stderr)
+        return 2
+    print(_job_line(record))
+    for key in ("submitted_at", "started_at", "finished_at"):
+        if record.get(key):
+            print(f"  {key}: {record[key]}")
+    if record.get("overrides"):
+        print(f"  overrides: {record['overrides']}")
+    if record.get("error"):
+        print(f"  error: {record['error']}")
+    return 1 if record["state"] == "failed" else 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     n = args.n
     f = args.f if args.f is not None else int(0.25 * n)
@@ -418,6 +560,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "params":

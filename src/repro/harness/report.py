@@ -144,12 +144,17 @@ def _sweep_delta(current: Dict[str, Any],
 
 def render_book(store: ExperimentStore,
                 baseline: Optional[Dict[str, Any]] = None,
-                fmt: str = "md") -> Tuple[str, Dict[str, Any]]:
+                fmt: str = "md",
+                live_refresh: Optional[int] = None,
+                ) -> Tuple[str, Dict[str, Any]]:
     """Render the results book; returns ``(document, snapshot)``.
 
     ``fmt`` is ``"md"`` (GitHub-flavoured Markdown) or ``"html"`` (a
     self-contained page with the same content).  ``baseline`` is a
-    snapshot dict from a previous run's ``*.json``.
+    snapshot dict from a previous run's ``*.json``.  ``live_refresh``
+    (HTML only) adds a meta-refresh of that many seconds — the
+    experiment service uses it to serve the book as a live page that
+    tracks the store as jobs record cells.
     """
     if fmt not in ("md", "html"):
         raise ValueError(f"format must be 'md' or 'html', got {fmt!r}")
@@ -243,11 +248,12 @@ def render_book(store: ExperimentStore,
 
     document = "\n".join(lines) + "\n"
     if fmt == "html":
-        document = _markdown_to_html(document)
+        document = _markdown_to_html(document, refresh_seconds=live_refresh)
     return document, snapshot
 
 
-def _markdown_to_html(markdown: str) -> str:
+def _markdown_to_html(markdown: str,
+                      refresh_seconds: Optional[int] = None) -> str:
     """Convert the restricted Markdown this module emits (headings,
     bullets, paragraphs, fenced text blocks, `code` spans) into a
     self-contained HTML page.  Not a general converter."""
@@ -297,7 +303,11 @@ def _markdown_to_html(markdown: str) -> str:
             close_list()
             body.append(f"<p>{inline(line)}</p>")
     close_list()
+    refresh = ("" if refresh_seconds is None else
+               f"<meta http-equiv=\"refresh\" "
+               f"content=\"{int(refresh_seconds)}\">")
     return ("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+            + refresh +
             "<title>Results book</title>"
             "<style>body{font-family:sans-serif;max-width:72em;"
             "margin:2em auto;padding:0 1em}pre{background:#f6f8fa;"

@@ -283,7 +283,13 @@ def run_trials(
             ]
             for future in futures:
                 stats.add(future.result())
-    elif pool is not None and len(seeds) > 1:
+    elif pool is not None and seeds:
+        # Even a single seed routes through the lent pool: the pool's
+        # worker processes carry state the caller lent it to preserve
+        # (per-worker lottery caches, the REPRO_SCHEDULER environment),
+        # and running the lone seed in the parent would silently bypass
+        # both.  Results are pool-vs-inline identical either way (each
+        # trial is independently seeded; pinned by tests).
         futures = [
             pool.submit(_run_one_trial, builder, f, seed,
                         adversary_factory, model, transcript_retention,

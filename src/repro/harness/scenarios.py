@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import csv
 import dataclasses
+import io
 import itertools
 import json
 from dataclasses import dataclass, field
@@ -841,6 +842,29 @@ class CellResult:
         return row
 
 
+def sweep_json_text(name: str, rows: List[Dict[str, Any]],
+                    lottery: Optional[Dict[str, Any]] = None) -> str:
+    """The canonical JSON artifact text for one sweep's rows.
+
+    Single-sourced so every producer — :meth:`SweepResult.to_json` after
+    a live run, and the experiment service serving the same sweep out of
+    a store — emits byte-identical artifacts for the same rows.
+    """
+    payload = {"sweep": name, "rows": rows, "lottery": lottery}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def sweep_csv_text(rows: List[Dict[str, Any]]) -> str:
+    """The canonical CSV artifact text for one sweep's rows (column
+    order via :func:`union_columns`, shared with the table renderers)."""
+    columns = union_columns(rows)
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
 @dataclass
 class SweepResult:
     """All cells of one sweep, with table rendering and artifact export."""
@@ -868,23 +892,14 @@ class SweepResult:
 
     def to_json(self, path) -> Path:
         path = Path(path)
-        payload = {
-            "sweep": self.name,
-            "rows": self.rows(),
-            "lottery": self.lottery,
-        }
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        path.write_text(sweep_json_text(self.name, self.rows(),
+                                        self.lottery))
         return path
 
     def to_csv(self, path) -> Path:
         path = Path(path)
-        rows = self.rows()
-        columns = union_columns(rows)
         with path.open("w", newline="") as handle:
-            writer = csv.DictWriter(handle, fieldnames=columns,
-                                    restval="")
-            writer.writeheader()
-            writer.writerows(rows)
+            handle.write(sweep_csv_text(self.rows()))
         return path
 
     @staticmethod
@@ -897,10 +912,54 @@ class SweepResult:
 _SWEEP_IDS = itertools.count()
 
 
+def execute_or_replay(cell: Cell, store=None, sweep_name: str = "",
+                      share_lottery: bool = True, workers: int = 1,
+                      coin_cache: Optional[SharedLotteryCache] = None,
+                      pool=None) -> CellResult:
+    """Execute one bound cell, replaying it from ``store`` if recorded.
+
+    The single cell-granularity entry point shared by :func:`run_sweep`
+    and the experiment service's worker pool: consult the store (when
+    given) for the cell's fingerprint, replay a recorded cell as a
+    :class:`CachedCellPayload` result carrying the stored metrics, or
+    execute it and record the fresh result durably before returning.
+    Cells are independent — each one's results are a pure function of
+    its bindings and seeds — so callers may execute cells in any order
+    or concurrently against one concurrency-safe store backend.
+    """
+    fingerprint = None
+    if store is not None:
+        fingerprint = store.fingerprint(cell, share_lottery=share_lottery)
+        record = store.load_record(fingerprint)
+        if record is not None:
+            # Replay: the stored metrics dict round-trips JSON exactly
+            # (scalars only, insertion order kept), so rows/tables/
+            # artifacts are byte-identical to the recorded fresh
+            # execution.  The row is recomposed from the *live* cell,
+            # so display metadata (scenario names, binding labels —
+            # outside the fingerprint) always tracks the current spec.
+            return CellResult(
+                cell=cell,
+                payload=CachedCellPayload(fingerprint=fingerprint),
+                metrics=dict(record["metrics"]),
+                fingerprint=fingerprint,
+                cached=True)
+    payload, metrics = EXECUTORS[cell.executor].run(
+        cell, workers, coin_cache, pool=pool)
+    result = CellResult(cell=cell, payload=payload,
+                        metrics=metrics, fingerprint=fingerprint)
+    if store is not None:
+        store.save_result(fingerprint, sweep_name, result,
+                          share_lottery=share_lottery)
+    return result
+
+
 def run_sweep(sweep: SweepSpec, workers: int = 1,
               share_lottery: bool = True,
               store=None,
-              shard: Optional[Tuple[int, int]] = None) -> SweepResult:
+              shard: Optional[Tuple[int, int]] = None,
+              on_cell: Optional[Callable[[Dict[str, Any]], None]] = None,
+              ) -> SweepResult:
     """Expand and execute every cell of ``sweep``.
 
     ``workers > 1`` fans each cell's seeds across processes via
@@ -925,6 +984,13 @@ def run_sweep(sweep: SweepSpec, workers: int = 1,
     counted in ``store_stats["skipped"]``) when it does not — so M
     shard invocations against one shared store union into the full
     sweep, and the last one returns (and records) the complete result.
+
+    ``on_cell`` is a per-cell progress callback, invoked after each
+    cell settles with a dict event: ``{"index", "total", "status"
+    ("computed" | "replayed" | "skipped"), "scenario", "label",
+    "fingerprint" (None without a store)}``.  The experiment service
+    streams these to polling clients; exceptions propagate (a callback
+    that raises aborts the sweep).
     """
     if shard is not None:
         shard_index, shard_count = shard
@@ -948,46 +1014,58 @@ def run_sweep(sweep: SweepSpec, workers: int = 1,
         all_fingerprints: List[str] = []
         all_rows: List[Optional[Dict[str, Any]]] = []
         replayed = computed = skipped = 0
-        for index, cell in enumerate(sweep.expand()):
+        cells = sweep.expand()
+
+        def _progress(index: int, cell: Cell, status: str,
+                      fingerprint: Optional[str]) -> None:
+            if on_cell is not None:
+                on_cell({"index": index, "total": len(cells),
+                         "status": status, "scenario": cell.scenario,
+                         "label": cell.label(),
+                         "fingerprint": fingerprint})
+
+        for index, cell in enumerate(cells):
             fingerprint = None
             if store is not None:
                 fingerprint = store.fingerprint(
                     cell, share_lottery=share_lottery)
                 all_fingerprints.append(fingerprint)
-                record = store.load_record(fingerprint)
-                if record is not None:
-                    # Replay: the stored metrics dict round-trips JSON
-                    # exactly (scalars only, insertion order kept), so
-                    # rows/tables/artifacts are byte-identical to the
-                    # recorded fresh execution.  The row is recomposed
-                    # from the *live* cell, so display metadata
-                    # (scenario names, binding labels — outside the
-                    # fingerprint) always tracks the current spec.
-                    result = CellResult(
-                        cell=cell,
-                        payload=CachedCellPayload(fingerprint=fingerprint),
-                        metrics=dict(record["metrics"]),
-                        fingerprint=fingerprint,
-                        cached=True)
-                    results.append(result)
-                    all_rows.append(result.row())
-                    replayed += 1
-                    continue
-            if shard is not None and index % shard_count != shard_index - 1:
-                skipped += 1
+            if (shard is not None
+                    and index % shard_count != shard_index - 1):
+                # Out-of-shard cells still replay when recorded (the
+                # helper below only executes on a store miss) — but a
+                # miss is *skipped*, never computed here.
+                result = None
                 if store is not None:
-                    all_rows.append(None)
-                continue
-            payload, metrics = EXECUTORS[cell.executor].run(
-                cell, workers, cache, pool=pool)
-            result = CellResult(cell=cell, payload=payload,
-                                metrics=metrics, fingerprint=fingerprint)
+                    record = store.load_record(fingerprint)
+                    if record is not None:
+                        result = CellResult(
+                            cell=cell,
+                            payload=CachedCellPayload(
+                                fingerprint=fingerprint),
+                            metrics=dict(record["metrics"]),
+                            fingerprint=fingerprint, cached=True)
+                if result is None:
+                    skipped += 1
+                    if store is not None:
+                        all_rows.append(None)
+                    _progress(index, cell, "skipped", fingerprint)
+                    continue
+            else:
+                result = execute_or_replay(
+                    cell, store=store, sweep_name=sweep.name,
+                    share_lottery=share_lottery, workers=workers,
+                    coin_cache=cache, pool=pool)
             results.append(result)
-            computed += 1
+            if result.cached:
+                replayed += 1
+            else:
+                computed += 1
             if store is not None:
                 all_rows.append(result.row())
-                store.save_result(fingerprint, sweep.name, result,
-                                  share_lottery=share_lottery)
+            _progress(index, cell,
+                      "replayed" if result.cached else "computed",
+                      fingerprint)
         lottery = None
         if cache is not None and store is None:
             # Counters are process-local: with a worker pool the coins

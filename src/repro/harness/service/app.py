@@ -1,0 +1,310 @@
+"""The experiment service's HTTP API (stdlib only).
+
+A :class:`ThreadingHTTPServer` — one thread per request, no third-party
+dependencies — in front of an
+:class:`~repro.harness.service.queue.ExperimentService` and its store.
+Start it with ``python -m repro serve``.  Routes:
+
+===========================================  ================================
+``POST /api/sweeps``                         submit a sweep: JSON body
+                                             ``{"sweep": name,
+                                             "share_lottery"?, "network"?,
+                                             "topology"?}`` → 202 + job
+``GET  /api/sweeps``                         submittable sweeps + recorded
+                                             sweep names
+``GET  /api/sweeps/<name>/rows``             recorded rows of one sweep
+``GET  /api/sweeps/<name>/artifact.json``    the sweep's JSON artifact —
+                                             byte-identical to a direct
+                                             ``run_sweep(store=...)`` export
+``GET  /api/sweeps/<name>/artifact.csv``     likewise, CSV
+``GET  /api/jobs``                           all job records, newest first
+``GET  /api/jobs/<id>``                      one job record
+``GET  /api/jobs/<id>/events``               per-cell progress; ``?since=N``
+                                             offsets, ``?timeout=S`` long-
+                                             polls until a new event
+``GET  /api/jobs/<id>/stream``               chunked NDJSON progress stream:
+                                             one event per line until the
+                                             job settles
+``GET  /``, ``GET /book``                    the results book as live HTML
+                                             (re-rendered per request,
+                                             auto-refreshing)
+``GET  /book.md``                            the same book as Markdown
+``GET  /healthz``                            liveness probe
+===========================================  ================================
+
+Errors are JSON: ``{"error": message}`` with a 4xx/5xx status.  The
+server binds to 127.0.0.1 by default — it trusts its callers (any
+client that can reach it may submit compute); put it behind real
+authentication before exposing it further.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ConfigurationError
+from repro.harness.report import render_book
+from repro.harness.scenarios import sweep_csv_text, sweep_json_text
+from repro.harness.service.queue import (
+    JOB_DONE,
+    JOB_FAILED,
+    ExperimentService,
+)
+
+#: Book HTML auto-refresh period, seconds (the "live" in live HTML).
+BOOK_REFRESH_SECONDS = 5
+
+_JOB_ROUTE = re.compile(r"^/api/jobs/(?P<job>[^/]+)"
+                        r"(?P<tail>/events|/stream)?$")
+_SWEEP_ROUTE = re.compile(r"^/api/sweeps/(?P<name>[^/]+)"
+                          r"(?P<tail>/rows|/artifact\.json|/artifact\.csv)$")
+
+#: Longest long-poll a single request may hold (seconds); clients ask
+#: for less via ``?timeout=``.
+MAX_POLL_SECONDS = 60.0
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests to the service bound on the server object."""
+
+    server_version = "repro-experiment-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The bound service/store, set by make_server().
+    service: ExperimentService = None  # type: ignore[assignment]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- plumbing -----------------------------------------------------------
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n"
+                ).encode("utf-8")
+        self._send(status, body, "application/json; charset=utf-8")
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _query(self) -> Dict[str, str]:
+        parsed = parse_qs(urlsplit(self.path).query)
+        return {key: values[-1] for key, values in parsed.items()}
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            return None
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    # -- dispatch -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlsplit(self.path).path
+        try:
+            if path in ("/", "/book", "/book.html"):
+                return self._get_book(fmt="html")
+            if path == "/book.md":
+                return self._get_book(fmt="md")
+            if path == "/healthz":
+                return self._send_json(200, {"status": "ok"})
+            if path == "/api/sweeps":
+                return self._get_sweeps()
+            if path == "/api/jobs":
+                return self._send_json(
+                    200, {"jobs": self.service.jobs()})
+            match = _JOB_ROUTE.match(path)
+            if match is not None:
+                job_id, tail = match.group("job"), match.group("tail")
+                if tail == "/events":
+                    return self._get_events(job_id)
+                if tail == "/stream":
+                    return self._stream_events(job_id)
+                return self._get_job(job_id)
+            match = _SWEEP_ROUTE.match(path)
+            if match is not None:
+                return self._get_sweep_data(match.group("name"),
+                                            match.group("tail"))
+            self._error(404, f"no route for {path}")
+        except BrokenPipeError:
+            pass  # client went away mid-response; nothing to salvage
+        except Exception as error:  # surface, don't kill the thread
+            self._error(500, f"{type(error).__name__}: {error}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlsplit(self.path).path
+        try:
+            if path == "/api/sweeps":
+                return self._post_sweep()
+            self._error(404, f"no route for {path}")
+        except BrokenPipeError:
+            pass
+        except Exception as error:
+            self._error(500, f"{type(error).__name__}: {error}")
+
+    # -- handlers -----------------------------------------------------------
+    def _post_sweep(self) -> None:
+        payload = self._read_body()
+        if payload is None or not isinstance(payload.get("sweep"), str):
+            return self._error(
+                400, 'body must be a JSON object with a "sweep" name')
+        try:
+            job_id = self.service.submit(
+                payload["sweep"],
+                share_lottery=bool(payload.get("share_lottery", True)),
+                network=payload.get("network"),
+                topology=payload.get("topology"))
+        except ConfigurationError as error:
+            return self._error(400, str(error))
+        record = self.service.job(job_id)
+        self._send_json(202, {"job": job_id, "record": record})
+
+    def _get_sweeps(self) -> None:
+        self._send_json(200, {
+            "available": self.service.available_sweeps(),
+            "recorded": self.service.store.sweep_names(),
+        })
+
+    def _get_job(self, job_id: str) -> None:
+        record = self.service.job(job_id)
+        if record is None:
+            return self._error(404, f"unknown job {job_id!r}")
+        self._send_json(200, record)
+
+    def _get_events(self, job_id: str) -> None:
+        record = self.service.job(job_id)
+        if record is None:
+            return self._error(404, f"unknown job {job_id!r}")
+        query = self._query()
+        try:
+            since = int(query.get("since", "0"))
+            timeout = min(float(query.get("timeout", "0")),
+                          MAX_POLL_SECONDS)
+        except ValueError:
+            return self._error(400, "since/timeout must be numbers")
+        events = self.service.events(
+            job_id, since=since, timeout=timeout if timeout > 0 else None)
+        self._send_json(200, {
+            "job": self.service.job(job_id),
+            "events": events,
+            "next": since + len(events),
+        })
+
+    def _stream_events(self, job_id: str) -> None:
+        """Chunked NDJSON: one progress event per line, then a final
+        ``{"job": <record>}`` line once the job settles."""
+        record = self.service.job(job_id)
+        if record is None:
+            return self._error(404, f"unknown job {job_id!r}")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+
+        def chunk(line: str) -> None:
+            data = (line + "\n").encode("utf-8")
+            self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+            self.wfile.write(data + b"\r\n")
+            self.wfile.flush()
+
+        seen = 0
+        while True:
+            events = self.service.events(job_id, since=seen, timeout=5.0)
+            for event in events:
+                chunk(json.dumps(event, sort_keys=True))
+            seen += len(events)
+            record = self.service.job(job_id)
+            if record is None or record["state"] in (JOB_DONE, JOB_FAILED):
+                if not events:  # drain any tail written after settle
+                    break
+        chunk(json.dumps({"job": record}, sort_keys=True))
+        self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
+
+    def _get_sweep_data(self, name: str, tail: str) -> None:
+        store = self.service.store
+        record = store.load_sweep(name)
+        if record is None:
+            return self._error(404, f"no recorded sweep {name!r}")
+        rows = store.sweep_rows(name)
+        if tail == "/rows":
+            return self._send_json(200, {
+                "sweep": name,
+                "complete": all(
+                    row is not None
+                    for row in store.sweep_rows_aligned(name,
+                                                        record=record)),
+                "rows": rows,
+            })
+        if tail == "/artifact.json":
+            body = sweep_json_text(name, rows).encode("utf-8")
+            return self._send(200, body,
+                              "application/json; charset=utf-8")
+        body = sweep_csv_text(rows).encode("utf-8")
+        self._send(200, body, "text/csv; charset=utf-8")
+
+    def _get_book(self, fmt: str) -> None:
+        document, _ = render_book(self.service.store, fmt=fmt,
+                                  live_refresh=(BOOK_REFRESH_SECONDS
+                                                if fmt == "html" else None))
+        if fmt == "html":
+            self._send(200, document.encode("utf-8"),
+                       "text/html; charset=utf-8")
+        else:
+            self._send(200, document.encode("utf-8"),
+                       "text/markdown; charset=utf-8")
+
+
+def make_server(store, host: str = "127.0.0.1", port: int = 8765,
+                workers: int = 2, verbose: bool = False,
+                ) -> Tuple[ThreadingHTTPServer, ExperimentService]:
+    """Build the threaded HTTP server and its worker-pool service.
+
+    Returns ``(server, service)`` without starting either loop —
+    callers (the CLI, tests) drive ``serve_forever`` themselves and must
+    ``service.shutdown()`` after ``server.shutdown()``.  ``port=0``
+    binds an ephemeral port (read it back from
+    ``server.server_address``).
+    """
+    service = ExperimentService(store, workers=workers)
+    handler = type("BoundServiceHandler", (ServiceHandler,),
+                   {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    server.verbose = verbose
+    return server, service
+
+
+def serve(store, host: str = "127.0.0.1", port: int = 8765,
+          workers: int = 2, verbose: bool = True) -> None:
+    """Blocking entry point behind ``python -m repro serve``."""
+    server, service = make_server(store, host=host, port=port,
+                                  workers=workers, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"experiment service on http://{bound_host}:{bound_port} "
+          f"(store {store.root}, backend {store.backend.kind}, "
+          f"{workers} workers) — Ctrl-C to stop", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown()

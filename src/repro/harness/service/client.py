@@ -1,0 +1,159 @@
+"""A small urllib client for the experiment service's HTTP API.
+
+Backs ``python -m repro submit`` / ``python -m repro status`` and the
+test/CI harnesses; no third-party dependencies.  Every method maps to
+one route of :mod:`repro.harness.service.app`; errors surface as
+:class:`ServiceError` carrying the HTTP status and the server's JSON
+``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+from urllib import error as urllib_error
+from urllib import request as urllib_request
+
+#: States in which a job will never change again.
+TERMINAL_STATES = ("done", "failed")
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level or API-level failure talking to the service."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Client for one experiment service base URL."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8765",
+                 timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------
+    def _request(self, path: str, payload: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = None) -> Any:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib_request.Request(url, data=data, headers=headers)
+        try:
+            with urllib_request.urlopen(
+                    req, timeout=timeout or self.timeout) as response:
+                body = response.read()
+        except urllib_error.HTTPError as error:
+            detail = ""
+            try:
+                detail = json.loads(error.read().decode("utf-8")
+                                    ).get("error", "")
+            except (ValueError, AttributeError, UnicodeDecodeError):
+                pass
+            raise ServiceError(
+                f"{url}: HTTP {error.code}"
+                + (f" — {detail}" if detail else ""),
+                status=error.code) from None
+        except (urllib_error.URLError, OSError) as error:
+            raise ServiceError(f"{url}: {error}") from None
+        return body
+
+    def _request_json(self, path: str,
+                      payload: Optional[Dict[str, Any]] = None,
+                      timeout: Optional[float] = None) -> Dict[str, Any]:
+        body = self._request(path, payload=payload, timeout=timeout)
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ServiceError(
+                f"{self.base_url}{path}: non-JSON response") from None
+        if not isinstance(decoded, dict):
+            raise ServiceError(
+                f"{self.base_url}{path}: unexpected response shape")
+        return decoded
+
+    # -- the API ------------------------------------------------------------
+    def health(self) -> bool:
+        return self._request_json("/healthz").get("status") == "ok"
+
+    def sweeps(self) -> Dict[str, Any]:
+        """``{"available": {name: description}, "recorded": [names]}``."""
+        return self._request_json("/api/sweeps")
+
+    def submit(self, sweep: str, share_lottery: bool = True,
+               network: Optional[str] = None,
+               topology: Optional[str] = None) -> str:
+        """Submit a sweep; returns the new job id."""
+        payload: Dict[str, Any] = {"sweep": sweep,
+                                   "share_lottery": share_lottery}
+        if network is not None:
+            payload["network"] = network
+        if topology is not None:
+            payload["topology"] = topology
+        return self._request_json("/api/sweeps", payload=payload)["job"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request_json(f"/api/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request_json("/api/jobs")["jobs"]
+
+    def events(self, job_id: str, since: int = 0,
+               poll_timeout: float = 25.0) -> Dict[str, Any]:
+        """One long-poll round: blocks server-side until new events (or
+        ``poll_timeout``); returns ``{"job", "events", "next"}``."""
+        return self._request_json(
+            f"/api/jobs/{job_id}/events?since={since}"
+            f"&timeout={poll_timeout}",
+            timeout=poll_timeout + self.timeout)
+
+    def wait(self, job_id: str,
+             on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+             poll_timeout: float = 25.0,
+             max_wait: Optional[float] = None) -> Dict[str, Any]:
+        """Long-poll until the job settles; returns the final record.
+
+        ``on_event`` sees each per-cell progress event as it arrives.
+        ``max_wait`` bounds the total wait (raises :class:`ServiceError`
+        on expiry — the job keeps running server-side).
+        """
+        import time
+        deadline = None if max_wait is None else time.monotonic() + max_wait
+        seen = 0
+        while True:
+            batch = self.events(job_id, since=seen,
+                                poll_timeout=poll_timeout)
+            for event in batch["events"]:
+                if on_event is not None:
+                    on_event(event)
+            seen = batch["next"]
+            record = batch["job"]
+            if record and record.get("state") in TERMINAL_STATES:
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record.get('state')!r} after "
+                    f"{max_wait}s (it keeps running server-side)")
+
+    def sweep_rows(self, name: str) -> Dict[str, Any]:
+        """``{"sweep", "complete", "rows"}`` for one recorded sweep."""
+        return self._request_json(f"/api/sweeps/{name}/rows")
+
+    def artifact(self, name: str, fmt: str = "json") -> bytes:
+        """The sweep's artifact bytes (``fmt`` = ``json`` | ``csv``) —
+        byte-identical to a direct ``run_sweep`` export of the same
+        cells."""
+        if fmt not in ("json", "csv"):
+            raise ValueError(f"fmt must be 'json' or 'csv', got {fmt!r}")
+        return self._request(f"/api/sweeps/{name}/artifact.{fmt}")
+
+    def book(self, fmt: str = "html") -> bytes:
+        """The live results book (``fmt`` = ``html`` | ``md``)."""
+        if fmt not in ("html", "md"):
+            raise ValueError(f"fmt must be 'html' or 'md', got {fmt!r}")
+        return self._request("/" if fmt == "html" else "/book.md")

@@ -58,6 +58,16 @@ serializes); transcripts and :class:`~repro.harness.runner.TrialStats`
 payloads are not retained, and replayed cells refuse payload access the
 same way metrics-only transcripts refuse replay (see
 :class:`~repro.harness.scenarios.CachedCellPayload`).
+
+Backends
+--------
+The store's records live behind a pluggable
+:class:`~repro.harness.backends.StoreBackend`: the default JSON tree
+(one file per record) or a concurrency-safe SQLite (WAL) database —
+selected by the store path (``*.sqlite``/``*.db`` ⇒ SQLite) or an
+explicit ``backend=`` argument.  The fingerprint scheme, schemas, and
+replay semantics are backend-independent, and the same cells recorded
+through either backend produce byte-identical sweep rows.
 """
 
 from __future__ import annotations
@@ -65,13 +75,12 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
-import tempfile
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.harness.backends import StoreBackend, backend_for_path
 
 #: Code-version salt folded into every fingerprint.  Bump this string
 #: whenever a change alters execution results or metric definitions
@@ -118,7 +127,23 @@ def _canon(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [_canon(item) for item in value]
     if isinstance(value, (set, frozenset)):
-        return sorted(_canon(item) for item in value)
+        # Sets are unordered, so the canonical form must impose one —
+        # but sorting the *canonical forms* directly would crash on
+        # heterogeneous elements (frozenset({1, "a"})) and on elements
+        # whose canonical form is a dict (a frozen dataclass).  Sort by
+        # each element's canonical JSON encoding instead: total, stable
+        # across processes, and injective exactly where the fingerprint
+        # needs it (equal encodings ⇒ equal canonical forms).
+        items = [_canon(item) for item in value]
+        try:
+            return sorted(
+                items,
+                key=lambda item: json.dumps(item, sort_keys=True,
+                                            separators=(",", ":")))
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"cannot order the elements of {value!r} for a cell "
+                f"fingerprint: {error}") from None
     if isinstance(value, dict):
         return {str(key): _canon(item) for key, item in value.items()}
     if callable(value):
@@ -195,22 +220,28 @@ def parse_shard(text: str) -> Tuple[int, int]:
 
 
 class ExperimentStore:
-    """Content-addressed on-disk store of executed cells and sweeps.
+    """Content-addressed store of executed cells, sweeps, and jobs.
 
-    Layout (all JSON, human-readable)::
+    The store owns the record semantics (fingerprints, schemas, replay
+    rules); the *bytes* live behind a pluggable
+    :class:`~repro.harness.backends.StoreBackend`:
 
-        <root>/cells/<fp[:2]>/<fp>.json   one record per executed cell
-        <root>/sweeps/<name>.json         last completed run of a sweep:
-                                          description, salt, timestamp,
-                                          cell fingerprints in order
+    - the default **JSON tree** (``cells/<fp[:2]>/<fp>.json``,
+      ``sweeps/<name>.json``, ``jobs/<id>.json``) — human-readable,
+      atomic via temp-file + rename, ideal for one invocation that owns
+      its store directory;
+    - **SQLite (WAL mode)** — one database file with ``cells``,
+      ``sweeps``, and ``jobs`` tables, safe for many concurrent readers
+      and writers across threads and processes; what the experiment
+      service runs on.  Selected by pointing ``root`` at a
+      ``*.sqlite``/``*.db`` path (or passing ``backend="sqlite"``).
 
-    Cell records are content-addressed (the filename is the fingerprint)
-    and carry no timestamps, so the ``cells/`` tree populated twice from
-    the same code and specs is byte-identical (sweep records do carry a
-    ``recorded_at`` timestamp).  Writes go through a same-directory
-    temp file + :func:`os.replace`, so an interrupted sweep never leaves
-    a truncated record — the next ``--resume`` simply recomputes the
-    missing cells.
+    Cell records are content-addressed (keyed by fingerprint) and carry
+    no timestamps, so the cell namespace populated twice from the same
+    code and specs is byte-identical (sweep records do carry a
+    ``recorded_at`` timestamp).  Writes are atomic in every backend, so
+    an interrupted sweep never leaves a truncated record — the next
+    ``--resume`` simply recomputes the missing cells.
 
     Sweep records always list the sweep's **full** cell-fingerprint
     expansion (including cells a ``--shard`` run skipped), so concurrent
@@ -221,51 +252,17 @@ class ExperimentStore:
 
     SCHEMA = STORE_SCHEMA
 
-    def __init__(self, root, salt: str = STORE_SALT) -> None:
+    def __init__(self, root, salt: str = STORE_SALT,
+                 backend: Optional[Any] = None) -> None:
         self.root = Path(root)
         self.salt = salt
+        if isinstance(backend, StoreBackend):
+            self.backend = backend
+        else:
+            self.backend = backend_for_path(self.root, backend)
 
-    # -- paths --------------------------------------------------------------
-    def _cell_path(self, fingerprint: str) -> Path:
-        return self.root / "cells" / fingerprint[:2] / f"{fingerprint}.json"
-
-    def _sweep_path(self, name: str) -> Path:
-        return self.root / "sweeps" / f"{name}.json"
-
-    @staticmethod
-    def _write_json(path: Path, payload: Dict[str, Any]) -> None:
-        # Unique temp name: concurrent shard invocations against one
-        # shared store may write the same sweep record simultaneously,
-        # and a fixed ".tmp" name would let one replace() the other's
-        # just-renamed file away.
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent,
-                                   prefix=path.name + ".", suffix=".tmp")
-        replaced = False
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(json.dumps(payload, indent=2) + "\n")
-            os.replace(tmp, path)
-            replaced = True
-        finally:
-            if not replaced:
-                # Serialization/ENOSPC failure: do not litter the
-                # content-addressed tree with orphaned temp files.
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-
-    @staticmethod
-    def _read_json(path: Path) -> Optional[Dict[str, Any]]:
-        """Parse one record file; a truncated/corrupted/non-object file
-        reads as None — the same treat-as-miss philosophy as a schema
-        mismatch (re-record rather than crash a resume)."""
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return None
-        return payload if isinstance(payload, dict) else None
+    def close(self) -> None:
+        self.backend.close()
 
     # -- fingerprints -------------------------------------------------------
     def fingerprint(self, cell, share_lottery: bool = True) -> str:
@@ -281,10 +278,7 @@ class ExperimentStore:
         schema bump or a damaged file re-records rather than mis-reads
         or crashes a resume).
         """
-        path = self._cell_path(fingerprint)
-        if not path.exists():
-            return None
-        record = self._read_json(path)
+        record = self.backend.load_cell(fingerprint)
         if (record is None or record.get("schema") != self.SCHEMA
                 or not isinstance(record.get("metrics"), dict)):
             return None
@@ -310,14 +304,11 @@ class ExperimentStore:
             "metrics": dict(result.metrics),
             "row": result.row(),
         }
-        self._write_json(self._cell_path(fingerprint), record)
+        self.backend.save_cell(fingerprint, record)
         return record
 
     def cell_count(self) -> int:
-        root = self.root / "cells"
-        if not root.exists():
-            return 0
-        return sum(1 for _ in root.glob("*/*.json"))
+        return self.backend.cell_count()
 
     # -- sweep records ------------------------------------------------------
     def record_sweep(self, name: str, description: str,
@@ -344,7 +335,7 @@ class ExperimentStore:
         replaces the section with that variant (both variants' cell
         records persist; re-run without the override to switch back).
         """
-        self._write_json(self._sweep_path(name), {
+        self.backend.save_sweep(name, {
             "schema": self.SCHEMA,
             "sweep": name,
             "description": description,
@@ -358,20 +349,14 @@ class ExperimentStore:
         })
 
     def load_sweep(self, name: str) -> Optional[Dict[str, Any]]:
-        path = self._sweep_path(name)
-        if not path.exists():
-            return None
-        record = self._read_json(path)
+        record = self.backend.load_sweep(name)
         if (record is None or record.get("schema") != self.SCHEMA
                 or not isinstance(record.get("cells"), list)):
             return None
         return record
 
     def sweep_names(self) -> List[str]:
-        root = self.root / "sweeps"
-        if not root.exists():
-            return []
-        return sorted(path.stem for path in root.glob("*.json"))
+        return self.backend.sweep_names()
 
     def sweep_rows_aligned(self, name: str,
                            record: Optional[Dict[str, Any]] = None,
@@ -389,7 +374,13 @@ class ExperimentStore:
             record = self.load_sweep(name)
         if record is None:
             return []
-        stored = record.get("rows") or [None] * len(record["cells"])
+        stored = record.get("rows") or []
+        if len(stored) < len(record["cells"]):
+            # A hand-edited or partially written record may carry fewer
+            # rows than cells; pad rather than letting zip() silently
+            # truncate, so tail cells keep their cell-record fallback.
+            stored = list(stored) + \
+                [None] * (len(record["cells"]) - len(stored))
         aligned: List[Optional[Dict[str, Any]]] = []
         for fingerprint, row in zip(record["cells"], stored):
             if row is None:
@@ -404,3 +395,26 @@ class ExperimentStore:
         omitted)."""
         return [row for row in self.sweep_rows_aligned(name)
                 if row is not None]
+
+    # -- job records (the experiment service's durable queue state) ---------
+    def save_job(self, job_id: str, record: Dict[str, Any]) -> None:
+        payload = dict(record)
+        payload.setdefault("schema", self.SCHEMA)
+        self.backend.save_job(job_id, payload)
+
+    def load_job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        record = self.backend.load_job(job_id)
+        if record is None or record.get("schema") != self.SCHEMA:
+            return None
+        return record
+
+    def update_job(self, job_id: str,
+                   mutate: Callable[[Dict[str, Any]], Dict[str, Any]],
+                   ) -> Optional[Dict[str, Any]]:
+        """Atomic read-modify-write of one job record (concurrent
+        updaters serialize in the backend, so per-job progress counters
+        incremented from many workers never lose updates)."""
+        return self.backend.update_job(job_id, mutate)
+
+    def job_ids(self) -> List[str]:
+        return self.backend.job_ids()

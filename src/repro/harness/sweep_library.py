@@ -51,10 +51,12 @@ recorded sweep as one results book (``docs/RESULTS.md``).
 
 from __future__ import annotations
 
-from typing import Dict
+import dataclasses
+from typing import Dict, Optional
 
+from repro.errors import ConfigurationError
 from repro.harness.scenarios import ScenarioSpec, SweepSpec, f_half_minus_one
-from repro.sim.conditions import NetworkConditions
+from repro.sim.conditions import NETWORKS, TOPOLOGIES, NetworkConditions
 
 
 COMM_VS_N = SweepSpec(
@@ -308,3 +310,44 @@ SWEEPS: Dict[str, SweepSpec] = {
 #: book reads headline-first regardless of store directory listing
 #: order; sweeps not in the library sort alphabetically after.
 SWEEP_ORDER = tuple(SWEEPS)
+
+
+def resolve_sweep(name: str, network: Optional[str] = None,
+                  topology: Optional[str] = None) -> SweepSpec:
+    """Look up a library sweep and force optional network/topology
+    bindings onto every scenario.
+
+    The shared override semantics of ``python -m repro sweep
+    --network/--topology`` and the service's submit API: a forced
+    binding lands in every scenario's ``fixed`` mapping, and any grid
+    axis of the same name is dropped — fixed bindings lose to same-name
+    axes, so keeping the axis would silently swallow the override.
+    Raises :class:`~repro.errors.ConfigurationError` for an unknown
+    sweep or binding value, so callers surface one error type.
+    """
+    if name not in SWEEPS:
+        raise ConfigurationError(
+            f"unknown sweep {name!r} (have: {', '.join(sorted(SWEEPS))})")
+    sweep = SWEEPS[name]
+    forced: Dict[str, str] = {}
+    if network is not None:
+        if network not in NETWORKS:
+            raise ConfigurationError(
+                f"unknown network conditions {network!r} "
+                f"(have {sorted(NETWORKS)})")
+        forced["network"] = network
+    if topology is not None:
+        if topology not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology {topology!r} "
+                f"(have {sorted(TOPOLOGIES)})")
+        forced["topology"] = topology
+    if not forced:
+        return sweep
+    return dataclasses.replace(sweep, scenarios=tuple(
+        dataclasses.replace(
+            scenario,
+            grid={axis: values for axis, values in scenario.grid.items()
+                  if axis not in forced},
+            fixed={**scenario.fixed, **forced})
+        for scenario in sweep.scenarios))

@@ -1,0 +1,253 @@
+"""Tests for the store backend layer (harness/backends.py): backend
+selection, JSON-vs-SQLite byte-identity, and SQLite safety under
+concurrent threads and processes sharing one database file."""
+
+import json
+import sqlite3
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+from repro.harness.backends import (
+    SQLITE_SUFFIXES,
+    JsonTreeBackend,
+    SQLiteBackend,
+    backend_for_path,
+    is_sqlite_path,
+)
+from repro.harness.scenarios import run_sweep
+from repro.harness.store import ExperimentStore
+
+from tests.test_store import tiny_sweep
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestBackendSelection:
+    def test_suffix_selects_sqlite(self, tmp_path):
+        for suffix in SQLITE_SUFFIXES:
+            assert is_sqlite_path(tmp_path / f"store{suffix}")
+        assert not is_sqlite_path(tmp_path / "store-dir")
+
+    def test_magic_header_selects_sqlite_without_suffix(self, tmp_path):
+        # A pre-existing database keeps working even renamed to a
+        # suffix-less path: detection falls back to the file header.
+        db = tmp_path / "corpus.sqlite"
+        SQLiteBackend(db).close()
+        renamed = tmp_path / "corpus"
+        db.rename(renamed)
+        assert is_sqlite_path(renamed)
+        assert backend_for_path(renamed).kind == "sqlite"
+
+    def test_explicit_backend_overrides_suffix(self, tmp_path):
+        backend = backend_for_path(tmp_path / "plain-dir", backend="sqlite")
+        assert backend.kind == "sqlite"
+        backend.close()
+
+    def test_store_accepts_backend_instance(self, tmp_path):
+        backend = JsonTreeBackend(tmp_path / "tree")
+        store = ExperimentStore(tmp_path / "tree", backend=backend)
+        assert store.backend is backend
+
+    def test_default_is_json_tree(self, tmp_path):
+        store = ExperimentStore(tmp_path / "tree")
+        assert store.backend.kind == "json"
+
+
+class TestJsonSqliteDifferential:
+    def test_same_cells_in_byte_identical_artifacts_out(self, tmp_path):
+        sweep = tiny_sweep()
+        json_store = ExperimentStore(tmp_path / "tree")
+        sqlite_store = ExperimentStore(tmp_path / "corpus.sqlite")
+        from_json = run_sweep(sweep, store=json_store)
+        from_sqlite = run_sweep(sweep, store=sqlite_store)
+        assert from_json.rows() == from_sqlite.rows()
+        for suffix, writer in (("json", "to_json"), ("csv", "to_csv")):
+            a = getattr(from_json, writer)(tmp_path / f"a.{suffix}")
+            b = getattr(from_sqlite, writer)(tmp_path / f"b.{suffix}")
+            assert a.read_bytes() == b.read_bytes()
+
+    def test_stored_record_text_is_backend_independent(self, tmp_path):
+        # Both backends persist the same canonical JSON text, so a
+        # corpus can migrate between them by copying records verbatim.
+        sweep = tiny_sweep()
+        json_store = ExperimentStore(tmp_path / "tree")
+        sqlite_store = ExperimentStore(tmp_path / "corpus.sqlite")
+        result = run_sweep(sweep, store=json_store)
+        run_sweep(sweep, store=sqlite_store)
+        for cell in result.cells:
+            file_text = (json_store.backend._cell_path(cell.fingerprint)
+                         .read_text())
+            with sqlite3.connect(tmp_path / "corpus.sqlite") as conn:
+                (db_text,) = conn.execute(
+                    "SELECT record FROM cells WHERE fingerprint = ?",
+                    (cell.fingerprint,)).fetchone()
+            assert file_text == db_text
+
+    def test_sqlite_warm_replay_is_byte_identical(self, tmp_path):
+        sweep = tiny_sweep()
+        store = ExperimentStore(tmp_path / "corpus.sqlite")
+        cold = run_sweep(sweep, store=store)
+        warm = run_sweep(sweep, store=store)
+        assert warm.store_stats["computed"] == 0
+        assert warm.store_stats["replayed"] == len(warm.cells)
+        cold_path = cold.to_json(tmp_path / "cold.json")
+        warm_path = warm.to_json(tmp_path / "warm.json")
+        assert cold_path.read_bytes() == warm_path.read_bytes()
+
+    def test_corrupted_sqlite_record_is_a_miss(self, tmp_path):
+        store = ExperimentStore(tmp_path / "corpus.sqlite")
+        result = run_sweep(tiny_sweep(), store=store)
+        fingerprint = result.cells[0].fingerprint
+        with sqlite3.connect(tmp_path / "corpus.sqlite") as conn:
+            conn.execute("UPDATE cells SET record = ? WHERE fingerprint = ?",
+                         ('{"schema": 1, "metr', fingerprint))
+        assert store.load_record(fingerprint) is None
+        rerun = run_sweep(tiny_sweep(), store=store)
+        assert rerun.store_stats["computed"] == 1
+        assert rerun.rows() == result.rows()
+
+
+def _record(tag):
+    return {"schema": 1, "tag": tag, "metrics": {"x": 1.5}}
+
+
+class TestSqliteThreadConcurrency:
+    def test_disjoint_writers_lose_nothing(self, tmp_path):
+        backend = SQLiteBackend(tmp_path / "corpus.sqlite")
+        errors = []
+
+        def writer(worker):
+            try:
+                for index in range(25):
+                    fingerprint = f"{worker:02d}-{index:04d}"
+                    backend.save_cell(fingerprint, _record(fingerprint))
+                    assert backend.load_cell(fingerprint) is not None
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(worker,))
+                   for worker in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert backend.cell_count() == 8 * 25
+        backend.close()
+
+    def test_overlapping_writers_converge_uncorrupted(self, tmp_path):
+        # Many threads racing to record the *same* cells (two services
+        # computing an overlapping sweep) must leave every record
+        # readable and equal to one writer's payload.
+        backend = SQLiteBackend(tmp_path / "corpus.sqlite")
+        fingerprints = [f"shared-{index:03d}" for index in range(10)]
+
+        def writer():
+            for fingerprint in fingerprints:
+                backend.save_cell(fingerprint, _record(fingerprint))
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert backend.cell_count() == len(fingerprints)
+        for fingerprint in fingerprints:
+            assert backend.load_cell(fingerprint) == _record(fingerprint)
+        backend.close()
+
+    def test_job_counter_updates_are_atomic(self, tmp_path):
+        # update_job is the read-modify-write under the service's
+        # progress counters; concurrent increments must never lose one.
+        backend = SQLiteBackend(tmp_path / "corpus.sqlite")
+        backend.save_job("job", {"computed": 0})
+
+        def bump(record):
+            record["computed"] += 1
+            return record
+
+        def worker():
+            for _ in range(50):
+                backend.update_job("job", bump)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert backend.load_job("job")["computed"] == 6 * 50
+        backend.close()
+
+
+_PROCESS_WRITER = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.harness.backends import SQLiteBackend
+backend = SQLiteBackend({db!r})
+worker = int(sys.argv[1])
+for index in range(20):
+    fingerprint = f"proc-{{worker:02d}}-{{index:04d}}"
+    backend.save_cell(fingerprint,
+                      {{"schema": 1, "tag": fingerprint}})
+for _ in range(40):
+    backend.update_job("shared-job",
+                       lambda record: (record.update(
+                           computed=record["computed"] + 1) or record))
+backend.close()
+print("ok")
+"""
+
+
+class TestSqliteProcessConcurrency:
+    def test_processes_share_one_database(self, tmp_path):
+        db = str(tmp_path / "corpus.sqlite")
+        setup = SQLiteBackend(db)
+        setup.save_job("shared-job", {"computed": 0})
+        setup.close()
+        script = _PROCESS_WRITER.format(src=str(REPO_ROOT / "src"), db=db)
+        procs = [subprocess.Popen(
+                     [sys.executable, "-c", script, str(worker)],
+                     stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                     text=True)
+                 for worker in range(4)]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert out.strip() == "ok"
+        check = SQLiteBackend(db)
+        assert check.cell_count() == 4 * 20
+        assert check.load_job("shared-job")["computed"] == 4 * 40
+        check.close()
+
+
+class TestSqliteJobStore:
+    def test_job_round_trip_and_listing(self, tmp_path):
+        store = ExperimentStore(tmp_path / "corpus.sqlite")
+        store.save_job("b-job", {"state": "queued"})
+        store.save_job("a-job", {"state": "queued"})
+        assert store.job_ids() == ["a-job", "b-job"]
+        assert store.load_job("a-job")["state"] == "queued"
+        assert store.load_job("missing") is None
+        store.update_job("a-job", lambda record: dict(record,
+                                                      state="done"))
+        assert store.load_job("a-job")["state"] == "done"
+        store.close()
+
+    def test_update_job_missing_returns_none(self, tmp_path):
+        store = ExperimentStore(tmp_path / "corpus.sqlite")
+        assert store.update_job("ghost", lambda record: record) is None
+        store.close()
+
+    def test_json_backend_jobs_match_sqlite_semantics(self, tmp_path):
+        for root in (tmp_path / "tree", tmp_path / "corpus.sqlite"):
+            store = ExperimentStore(root)
+            store.save_job("job", {"state": "queued", "computed": 0})
+            store.update_job(
+                "job", lambda record: dict(record,
+                                           computed=record["computed"] + 1))
+            record = store.load_job("job")
+            assert record["computed"] == 1, store.backend.kind
+            assert store.job_ids() == ["job"], store.backend.kind
+            store.close()

@@ -45,6 +45,74 @@ class TestRunTrials:
         assert len(stats.decision_rounds()) == 2 * n
 
 
+def _stats_signature(stats):
+    """Every externally observable aggregate of one TrialStats."""
+    return {
+        "trials": stats.trials,
+        "consistency_rate": stats.consistency_rate,
+        "validity_rate": stats.validity_rate,
+        "termination_rate": stats.termination_rate,
+        "mean_rounds": stats.mean_rounds,
+        "mean_multicasts": stats.mean_multicasts,
+        "mean_multicast_bits": stats.mean_multicast_bits,
+        "decision_rounds": stats.decision_rounds(),
+    }
+
+
+class _CountingPool:
+    """A lent-pool proxy that records every submit it forwards."""
+
+    def __init__(self, pool):
+        self.pool = pool
+        self.submits = 0
+
+    def submit(self, *args, **kwargs):
+        self.submits += 1
+        return self.pool.submit(*args, **kwargs)
+
+
+class TestLentPool:
+    def test_single_seed_routes_through_the_pool(self):
+        # Satellite regression: a lone seed used to bypass a lent pool
+        # entirely (silently discarding the worker-process state the
+        # caller lent the pool to preserve). It must submit like any
+        # other seed — and aggregate identically to the inline path.
+        from concurrent.futures import ProcessPoolExecutor
+
+        n, f = 7, 3
+        kwargs = dict(f=f, n=n, inputs=[1] * n)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            counting = _CountingPool(pool)
+            pooled = run_trials(build_quadratic_ba, seeds=[5],
+                                pool=counting, **kwargs)
+        assert counting.submits == 1
+        inline = run_trials(build_quadratic_ba, seeds=[5], **kwargs)
+        assert _stats_signature(pooled) == _stats_signature(inline)
+
+    def test_pool_vs_inline_determinism_multi_seed(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        n, f = 7, 3
+        kwargs = dict(f=f, n=n, inputs=[i % 2 for i in range(n)])
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            counting = _CountingPool(pool)
+            pooled = run_trials(build_quadratic_ba, seeds=range(3),
+                                pool=counting, **kwargs)
+        assert counting.submits == 3
+        inline = run_trials(build_quadratic_ba, seeds=range(3), **kwargs)
+        assert _stats_signature(pooled) == _stats_signature(inline)
+
+    def test_empty_seeds_with_pool_runs_nothing(self):
+        class ExplodingPool:
+            def submit(self, *args, **kwargs):  # pragma: no cover
+                raise AssertionError("no seeds, no submits")
+
+        n, f = 7, 3
+        stats = run_trials(build_quadratic_ba, f=f, seeds=[],
+                           pool=ExplodingPool(), n=n, inputs=[1] * n)
+        assert stats.trials == 0
+
+
 class TestRunInstance:
     def test_max_rounds_override(self):
         n, f = 7, 3

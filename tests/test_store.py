@@ -151,7 +151,7 @@ class TestStoreRoundTrip:
     def test_schema_mismatch_is_a_miss(self, tmp_path):
         store = ExperimentStore(tmp_path)
         result = run_sweep(tiny_sweep(), store=store).cells[0]
-        path = store._cell_path(result.fingerprint)
+        path = store.backend._cell_path(result.fingerprint)
         record = json.loads(path.read_text())
         record["schema"] = 999
         path.write_text(json.dumps(record))
@@ -164,7 +164,7 @@ class TestStoreRoundTrip:
         # re-records it — never crash the run.
         store = ExperimentStore(tmp_path)
         result = run_sweep(tiny_sweep(), store=store)
-        path = store._cell_path(result.cells[0].fingerprint)
+        path = store.backend._cell_path(result.cells[0].fingerprint)
         path.write_text('{"schema": 1, "metr')  # truncated mid-write
         assert store.load_record(result.cells[0].fingerprint) is None
         rerun = run_sweep(tiny_sweep(), store=store)
@@ -175,7 +175,7 @@ class TestStoreRoundTrip:
         # record (the book simply omits the sweep until re-recorded).
         path.write_text('{"schema": 1, "metrics": "oops"}')
         assert store.load_record(result.cells[0].fingerprint) is None
-        store._sweep_path("tiny").write_text("garbage")
+        store.backend._sweep_path("tiny").write_text("garbage")
         assert store.load_sweep("tiny") is None
 
     def test_sweep_record_lists_cells_in_order(self, tmp_path):
@@ -330,3 +330,122 @@ class TestShards:
             "salt": STORE_SALT, "shard": "2/2"}
         assert second.rows() == run_sweep(sweep).rows()
         assert store.load_sweep("tiny")["complete"] is True
+
+
+class TestCanonExoticBindings:
+    """Fingerprints over binding types whose canonical form needs care:
+    heterogeneous sets (satellite regression — sorting canonical forms
+    directly raised ``TypeError: '<' not supported``), sets of frozen
+    dataclasses (canonical forms are dicts, also unorderable), bytes,
+    and nested frozen dataclasses."""
+
+    def test_mixed_type_set_fingerprints(self):
+        # Regression: frozenset({1, "a"}) crashed _canon with a raw
+        # TypeError before sets were ordered by canonical JSON encoding.
+        a = spec_cell(fixed={"tags": frozenset([1, "a"])})
+        b = spec_cell(fixed={"tags": frozenset(["a", 1])})
+        assert cell_fingerprint(a) == cell_fingerprint(b)
+        c = spec_cell(fixed={"tags": frozenset(["a", 2])})
+        assert cell_fingerprint(a) != cell_fingerprint(c)
+
+    def test_set_of_frozen_dataclasses_fingerprints(self):
+        @dataclasses.dataclass(frozen=True)
+        class Knob:
+            name: str
+            level: int
+
+        knobs = frozenset({Knob("alpha", 1), Knob("beta", 2)})
+        same = frozenset({Knob("beta", 2), Knob("alpha", 1)})
+        assert (cell_fingerprint(spec_cell(fixed={"knobs": knobs}))
+                == cell_fingerprint(spec_cell(fixed={"knobs": same})))
+        other = frozenset({Knob("beta", 3), Knob("alpha", 1)})
+        assert (cell_fingerprint(spec_cell(fixed={"knobs": knobs}))
+                != cell_fingerprint(spec_cell(fixed={"knobs": other})))
+
+    def test_unorderable_set_raises_configuration_error(self, monkeypatch):
+        # Everything _canon emits today JSON-encodes, so force the
+        # pathological case to pin the error contract: anything the
+        # ordering cannot handle surfaces as ConfigurationError, never a
+        # raw TypeError.
+        from repro.harness import store as store_module
+
+        real_dumps = json.dumps
+
+        def broken_dumps(value, **kwargs):
+            if kwargs.get("separators") == (",", ":"):
+                raise TypeError("unorderable for the test")
+            return real_dumps(value, **kwargs)
+
+        monkeypatch.setattr(store_module.json, "dumps", broken_dumps)
+        with pytest.raises(ConfigurationError, match="cannot order"):
+            store_module._canon(frozenset([1, "a"]))
+
+    def test_bytes_round_trip(self):
+        a = spec_cell(fixed={"beacon": b"\x00\xffseed"})
+        b = spec_cell(fixed={"beacon": b"\x00\xffseed"})
+        assert cell_fingerprint(a) == cell_fingerprint(b)
+        assert (cell_fingerprint(a)
+                != cell_fingerprint(spec_cell(fixed={"beacon": b"other"})))
+        # The canonical key document itself must survive a JSON
+        # round-trip unchanged — that is what the store hashes and what
+        # record files embed.
+        key = canonical_cell_key(a)
+        assert json.loads(json.dumps(key, sort_keys=True)) == key
+
+    def test_nested_frozen_dataclass_round_trip(self):
+        @dataclasses.dataclass(frozen=True)
+        class Inner:
+            weights: tuple
+            blob: bytes
+
+        @dataclasses.dataclass(frozen=True)
+        class Outer:
+            label: str
+            inner: Inner
+            members: frozenset
+
+        value = Outer("outer", Inner((1, 2.5), b"\x01\x02"),
+                      frozenset({"x", 3}))
+        same = Outer("outer", Inner((1, 2.5), b"\x01\x02"),
+                     frozenset({3, "x"}))
+        assert (cell_fingerprint(spec_cell(fixed={"cfg": value}))
+                == cell_fingerprint(spec_cell(fixed={"cfg": same})))
+        key = canonical_cell_key(spec_cell(fixed={"cfg": value}))
+        assert json.loads(json.dumps(key, sort_keys=True)) == key
+
+
+class TestSweepRowsAligned:
+    def test_short_rows_list_pads_instead_of_truncating(self, tmp_path):
+        # Satellite regression: a record whose rows list is shorter than
+        # its cells list (hand-edited, or written by an older tool) used
+        # to zip-truncate — tail cells vanished from the book even when
+        # their cell records could fill the holes.
+        store = ExperimentStore(tmp_path)
+        result = run_sweep(tiny_sweep(), store=store)
+        record = store.load_sweep("tiny")
+        record["rows"] = record["rows"][:1]
+        store.backend.save_sweep("tiny", record)
+        aligned = store.sweep_rows_aligned("tiny")
+        assert len(aligned) == len(record["cells"])
+        # The tail cell falls back to its cell record's row.
+        assert aligned == result.rows()
+
+    def test_missing_rows_fall_back_to_cell_records(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        result = run_sweep(tiny_sweep(), store=store)
+        record = store.load_sweep("tiny")
+        record["rows"] = []
+        store.backend.save_sweep("tiny", record)
+        assert store.sweep_rows_aligned("tiny") == result.rows()
+
+    def test_unfillable_hole_stays_none(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        run_sweep(tiny_sweep(), store=store)
+        record = store.load_sweep("tiny")
+        record["rows"] = record["rows"][:1]
+        record["cells"] = record["cells"][:1] + ["0" * 64]
+        store.backend.save_sweep("tiny", record)
+        aligned = store.sweep_rows_aligned("tiny")
+        assert len(aligned) == 2
+        assert aligned[1] is None
+        assert store.sweep_rows("tiny") == aligned[:1]
