@@ -58,6 +58,11 @@ REQUIRED_LINKS = (
     ("docs/RESULTS.md", "docs/ARCHITECTURE.md"),
     ("docs/RESULTS.md", "docs/NETWORK.md"),
     ("docs/RESULTS.md", "docs/PROTOCOLS.md"),
+    # The leader-family pass: the protocol reference's leader section
+    # points at the results book (where leader-vs-quadratic renders the
+    # words-vs-n comparison) and at the module map it slots into.
+    ("docs/PROTOCOLS.md", "docs/RESULTS.md"),
+    ("docs/PROTOCOLS.md", "docs/ARCHITECTURE.md"),
 )
 
 

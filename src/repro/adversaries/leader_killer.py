@@ -7,6 +7,14 @@ expected round complexity degrades from O(1) to Θ(f) while safety is
 untouched.  The VRF-compiled protocols are immune: nobody knows who the
 proposers are until their proposals are already multicast.  Experiment E4
 reports both columns.
+
+Against the view-based leader family (``leader-ba`` / ``leader-chain``)
+the same strike is the classic round-robin worst case: each view's
+leader is known from the view number alone, so the adversary silences
+it at the view's Propose round.  Rotation drains the budget in at most
+``f`` consecutive views (round-robin leaders of consecutive views are
+distinct), after which every post-GST view has a live honest leader and
+the protocol decides — the regression tests pin exactly that.
 """
 
 from __future__ import annotations
@@ -14,12 +22,22 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
-from repro.protocols.aba import PHASE_PROPOSE, schedule
+from repro.protocols.aba import AbaConfig, PHASE_PROPOSE, schedule
 from repro.protocols.base import ProtocolInstance
+from repro.protocols.leader_ba import LeaderBaConfig, proposing_view
+from repro.protocols.phase_king import PhaseKingConfig
 from repro.sim.adversary import Adversary
 from repro.sim.leader import LeaderOracle
 from repro.sim.network import Delivery, Envelope
 from repro.types import NodeId, Round
+
+#: Protocol families with a public leader schedule this adversary can
+#: strike, keyed by the shared-config class their builders install.
+_FAMILIES = {
+    "aba": AbaConfig,
+    "phase-king": PhaseKingConfig,
+    "leader-ba": LeaderBaConfig,
+}
 
 
 class LeaderKillerAdversary(Adversary):
@@ -28,23 +46,40 @@ class LeaderKillerAdversary(Adversary):
     name = "leader-killer"
 
     def __init__(self, instance: ProtocolInstance,
-                 family: str = "aba") -> None:
+                 family: Optional[str] = None) -> None:
         super().__init__()
         oracle = instance.services.get("oracle")
         if not isinstance(oracle, LeaderOracle):
             raise ConfigurationError(
                 "leader-killer needs an announced leader oracle")
         self.oracle = oracle
-        if family not in ("aba", "phase-king"):
+        config = instance.services.get("config")
+        if family is None:
+            # Sniff the family from the instance's shared config, so the
+            # registry entry works unparameterized across every target.
+            for name, config_cls in _FAMILIES.items():
+                if isinstance(config, config_cls):
+                    family = name
+                    break
+            else:
+                raise ConfigurationError(
+                    f"leader-killer cannot target {instance.name!r}: not an "
+                    f"oracle-led protocol family (one of "
+                    f"{', '.join(sorted(_FAMILIES))})")
+        elif family not in _FAMILIES:
             raise ConfigurationError(f"unknown family {family!r}")
         self.family = family
         self.killed: List[NodeId] = []
 
     def _epoch_starting_at(self, round_index: Round) -> Optional[int]:
-        """The iteration whose proposal happens in this round, if any."""
+        """The epoch whose proposal happens in this round, if any (an
+        iteration for the paper protocols, a view for the leader family —
+        either way the oracle's epoch key)."""
         if self.family == "phase-king":
             epoch, is_ack_round = divmod(round_index, 2)
             return epoch if not is_ack_round else None
+        if self.family == "leader-ba":
+            return proposing_view(round_index)
         iteration, phase = schedule(round_index)
         return iteration if phase == PHASE_PROPOSE else None
 

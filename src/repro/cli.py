@@ -68,7 +68,9 @@ from typing import List, Optional, Sequence
 from repro.adversaries import (
     AdaptiveSpeakerAdversary,
     CrashAdversary,
+    LeaderKillerAdversary,
     StaticEquivocationAdversary,
+    ViewSplitAdversary,
 )
 from repro.analysis import choose_lambda
 from repro.analysis.parameters import protocol_failure_probability
@@ -105,11 +107,23 @@ _PARAMS_PROTOCOLS = frozenset(
 _MODE_PROTOCOLS = frozenset(
     key for key, entry in PROTOCOL_REGISTRY.items() if entry.takes_mode)
 
+#: Builders that accept ``conditions=`` — the early-stop variants plus
+#: the view-based leader family (whose view timers derive from Δ/GST).
+_CONDITIONS_PROTOCOLS = EARLY_STOP_PROTOCOLS | frozenset(
+    key for key, entry in PROTOCOL_REGISTRY.items() if entry.takes_conditions)
+
+#: View-based leader protocols: ``run`` reports the settled view and the
+#: view changes burned getting there.
+_VIEW_PROTOCOLS = frozenset(
+    key for key, entry in PROTOCOL_REGISTRY.items() if entry.view_based)
+
 ADVERSARIES = {
     "none": lambda instance: None,
     "crash": lambda instance: CrashAdversary(),
     "equivocate": StaticEquivocationAdversary,
     "speaker": AdaptiveSpeakerAdversary,
+    "leader-killer": LeaderKillerAdversary,
+    "view-split": ViewSplitAdversary,
 }
 
 
@@ -501,9 +515,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         kwargs.update(params=params)
     if args.protocol in _MODE_PROTOCOLS:
         kwargs.update(mode=args.mode)
-    if args.protocol in EARLY_STOP_PROTOCOLS:
-        # The GST-aware builders gate their unanimity detectors on the
-        # conditions' trusted-send round.
+    if args.protocol in _CONDITIONS_PROTOCOLS:
+        # The GST-aware builders gate their unanimity detectors (or view
+        # timers) on the conditions' trusted-send round.
         kwargs.update(conditions=conditions)
     instance = builder(**kwargs)
     adversary = ADVERSARIES[args.adversary](instance)
@@ -528,6 +542,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.protocol in EARLY_STOP_PROTOCOLS:
         print(f"rounds saved:        {result.rounds_saved} "
               f"(budget {result.rounds_budget})")
+    if args.protocol in _VIEW_PROTOCOLS:
+        from repro.protocols.leader_ba import decision_view_of
+        settled = decision_view_of(result)
+        print(f"settled view:        {settled} "
+              f"({settled - 1} view change(s))")
     print(f"corruptions used:    {result.corruptions_used}")
     print(f"honest multicasts:   "
           f"{result.metrics.multicast_complexity_messages}")

@@ -142,6 +142,28 @@ def _sweep_delta(current: Dict[str, Any],
     return {"added": added, "removed": removed, "changed": changed}
 
 
+def _leader_comparison_rows(
+        rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The ``leader-vs-quadratic`` words-vs-n digest: per system size,
+    the leader family's words per decision next to quadratic BA's and
+    the Dolev-Reischuk counting attack's Ω(f²) message floor."""
+    by_n: Dict[Any, Dict[str, Any]] = {}
+    for row in rows:
+        n = row.get("n")
+        if n is None:
+            continue
+        slot = by_n.setdefault(n, {})
+        if row.get("scenario") == "leader-ba":
+            slot["leader_words"] = row.get("mean_multicast_bits")
+            slot["leader_views"] = row.get("mean_views_executed")
+        elif row.get("scenario") == "quadratic":
+            slot["quadratic_words"] = row.get("mean_multicast_bits")
+        elif row.get("executor") == "dolev-reischuk":
+            slot["dolev_reischuk_floor_msgs"] = row.get("message_budget")
+    return [{"n": n, **slot}
+            for n, slot in sorted(by_n.items()) if len(slot) > 1]
+
+
 def render_book(store: ExperimentStore,
                 baseline: Optional[Dict[str, Any]] = None,
                 fmt: str = "md",
@@ -235,6 +257,20 @@ def render_book(store: ExperimentStore,
         lines.append("```text")
         lines.append(table.render())
         lines.append("```")
+        if name == "leader-vs-quadratic":
+            comparison = _leader_comparison_rows(rows)
+            if comparison:
+                lines.append("")
+                lines.append("Words per decision versus n — the leader "
+                             "family's happy path against quadratic BA, "
+                             "with the Dolev-Reischuk counting attack's "
+                             "Ω(f²) message floor at the same sizes:")
+                lines.append("")
+                lines.append("```text")
+                lines.append(rows_to_table(
+                    "words-vs-n vs the Dolev-Reischuk line",
+                    comparison).render())
+                lines.append("```")
 
     if baseline is not None:
         vanished = sorted(set(baseline.get("sweeps", {}))

@@ -77,7 +77,9 @@ from repro.adversaries import (
     AdaptiveSpeakerAdversary,
     CrashAdversary,
     DelayAdversary,
+    LeaderKillerAdversary,
     StaticEquivocationAdversary,
+    ViewSplitAdversary,
 )
 from repro.eligibility.lottery_cache import SharedLotteryCache, release_cache
 from repro.errors import ConfigurationError
@@ -92,6 +94,8 @@ from repro.sim.conditions import (
 from repro.protocols import (
     build_broadcast_from_ba,
     build_dolev_strong,
+    build_leader_ba,
+    build_leader_chain,
     build_naive_broadcast,
     build_phase_king,
     build_phase_king_early_stop,
@@ -132,6 +136,15 @@ class ProtocolEntry:
     #: network conditions) and the cell's artifact row gains a
     #: ``mean_rounds_saved`` column.
     early_stopping: bool = False
+    #: The builder accepts ``conditions=`` without being an
+    #: early-stopping variant (the leader family derives its view-timer
+    #: budget and decide-announcement drain gate from Δ/GST).
+    takes_conditions: bool = False
+    #: View-based leader protocols: the cell's artifact row gains
+    #: ``mean_views_executed`` / ``mean_view_changes`` columns derived
+    #: from the per-trial settled view (see STORE_SALT in store.py —
+    #: bumped when these columns landed).
+    view_based: bool = False
 
 
 PROTOCOLS: Dict[str, ProtocolEntry] = {
@@ -141,6 +154,10 @@ PROTOCOLS: Dict[str, ProtocolEntry] = {
     "quadratic": ProtocolEntry(build_quadratic_ba),
     "quadratic-early-stop": ProtocolEntry(
         build_quadratic_ba_early_stop, early_stopping=True),
+    "leader-ba": ProtocolEntry(
+        build_leader_ba, takes_conditions=True, view_based=True),
+    "leader-chain": ProtocolEntry(
+        build_leader_chain, takes_conditions=True, view_based=True),
     "phase-king": ProtocolEntry(build_phase_king),
     "phase-king-early-stop": ProtocolEntry(
         build_phase_king_early_stop, early_stopping=True),
@@ -177,6 +194,8 @@ ADVERSARIES: Dict[str, Callable[..., Any]] = {
     "equivocate": StaticEquivocationAdversary,
     "ack-equivocate": AckEquivocationAdversary,
     "speaker": AdaptiveSpeakerAdversary,
+    "leader-killer": LeaderKillerAdversary,
+    "view-split": ViewSplitAdversary,
 }
 
 
@@ -203,6 +222,13 @@ def f_half_minus_one(n: int) -> int:
     """The maximal honest-majority budget ``f = (n - 1) // 2``, for use
     as a callable ``f`` binding."""
     return (n - 1) // 2
+
+
+def f_third_minus_one(n: int) -> int:
+    """The maximal partial-synchrony budget ``f = (n - 1) // 3`` (so
+    ``n > 3f``), for use as a callable ``f`` binding with the
+    leader-based family."""
+    return (n - 1) // 3
 
 
 @dataclass(frozen=True)
@@ -556,7 +582,8 @@ def _is_scalar(value: Any) -> bool:
 
 
 def _stats_metrics(stats: TrialStats,
-                   early_stopping: bool = False) -> Dict[str, Any]:
+                   early_stopping: bool = False,
+                   view_based: bool = False) -> Dict[str, Any]:
     metrics = {
         "trials": stats.trials,
         "consistency_rate": stats.consistency_rate,
@@ -586,6 +613,16 @@ def _stats_metrics(stats: TrialStats,
     # protocol variants, whose whole point it measures.
     if early_stopping:
         metrics["mean_rounds_saved"] = stats.mean_rounds_saved
+    # And the view-accounting columns only for the leader family (these
+    # additions are what bumped STORE_SALT to v3).
+    if view_based:
+        from repro.protocols.leader_ba import decision_view_of
+        views = [decision_view_of(result) for result in stats.results]
+        trials = len(views)
+        metrics["mean_views_executed"] = (
+            sum(views) / trials if trials else 0.0)
+        metrics["mean_view_changes"] = (
+            sum(view - 1 for view in views) / trials if trials else 0.0)
     return metrics
 
 
@@ -628,11 +665,12 @@ def _execute_trials(cell: Cell, workers: int,
         adversary_factory=_adversary_factory(cell),
         workers=workers,
         conditions=cell.network,
-        builder_takes_conditions=entry.early_stopping,
+        builder_takes_conditions=entry.early_stopping or entry.takes_conditions,
         pool=pool,
         **_cell_trial_kwargs(cell, coin_cache),
     )
-    return stats, _stats_metrics(stats, early_stopping=entry.early_stopping)
+    return stats, _stats_metrics(stats, early_stopping=entry.early_stopping,
+                                 view_based=entry.view_based)
 
 
 def _execute_per_seed(cell: Cell, workers: int,
@@ -647,7 +685,7 @@ def _execute_per_seed(cell: Cell, workers: int,
     """
     entry = PROTOCOLS[cell.protocol]
     kwargs = _cell_trial_kwargs(cell, coin_cache)
-    if entry.early_stopping:
+    if entry.early_stopping or entry.takes_conditions:
         kwargs["conditions"] = cell.network
     factory = _adversary_factory(cell)
     records: List[Tuple[Any, Any]] = []
@@ -659,7 +697,8 @@ def _execute_per_seed(cell: Cell, workers: int,
                               conditions=cell.network)
         records.append((result, adversary))
         stats.add(result)
-    return records, _stats_metrics(stats, early_stopping=entry.early_stopping)
+    return records, _stats_metrics(stats, early_stopping=entry.early_stopping,
+                                   view_based=entry.view_based)
 
 
 def _attack_kwargs(cell: Cell) -> Dict[str, Any]:

@@ -32,6 +32,14 @@ motivates directly:
   GST at an earlier *protocol* round, so the trusted unanimity detector
   fires sooner and ``rounds_saved`` grows monotonically with the
   Δ-headroom.
+- ``leader-vs-delta`` — the view-based leader family (``leader-ba``,
+  ``docs/PROTOCOLS.md``) under a fixed GST and growing Δ, under the
+  leader-killer and view-split adversaries, and as the multi-height
+  chain workload: fewer views burn before GST as Δ grows, and the
+  adversaries cost views, never agreement.
+- ``leader-vs-quadratic`` — words per decision versus ``n``: the leader
+  family's happy path against quadratic BA, with the Dolev–Reischuk
+  counting attack run at the same sizes as the Ω(f²) floor line.
 - ``topology-grid`` — one protocol point swept across the per-link
   latency topologies (uniform / clustered / star / ring): security rates
   stay flat while effective delivery latency tracks the topology's
@@ -55,7 +63,12 @@ import dataclasses
 from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
-from repro.harness.scenarios import ScenarioSpec, SweepSpec, f_half_minus_one
+from repro.harness.scenarios import (
+    ScenarioSpec,
+    SweepSpec,
+    f_half_minus_one,
+    f_third_minus_one,
+)
 from repro.sim.conditions import NETWORKS, TOPOLOGIES, NetworkConditions
 
 
@@ -283,6 +296,85 @@ TOPOLOGY_GRID = SweepSpec(
     ),
 )
 
+LEADER_VS_DELTA = SweepSpec(
+    name="leader-vs-delta",
+    description="The view-based leader family under partial synchrony: "
+                "fixed GST, growing Δ — GST lands at an earlier protocol "
+                "round, so fewer views burn before an honest leader "
+                "decides; plus the leader-killer and view-split "
+                "adversaries and the multi-height chain workload "
+                "(docs/PROTOCOLS.md).",
+    scenarios=(
+        ScenarioSpec(
+            name="leader-ba",
+            protocol="leader-ba",
+            grid={"network": _early_stop_conditions(0.1)},
+            fixed={"n": 13, "f": 4},
+            inputs="mixed",
+            seeds=range(3),
+        ),
+        ScenarioSpec(
+            name="leader-ba-adversarial",
+            protocol="leader-ba",
+            grid={"adversary": ("leader-killer", "view-split")},
+            fixed={"n": 13, "f": 4,
+                   "network": _early_stop_conditions(0.1)[1]},
+            inputs="mixed",
+            seeds=range(3),
+        ),
+        # The heavy-traffic axis: three chained heights through one view
+        # schedule, locks carried across height boundaries.
+        ScenarioSpec(
+            name="leader-chain",
+            protocol="leader-chain",
+            grid={"network": (_early_stop_conditions(0.1)[0],
+                              _early_stop_conditions(0.1)[2])},
+            fixed={"n": 13, "f": 4, "heights": 3},
+            inputs="mixed",
+            seeds=range(2),
+        ),
+    ),
+)
+
+LEADER_VS_QUADRATIC = SweepSpec(
+    name="leader-vs-quadratic",
+    description="Words per decision vs n: the leader family's linear "
+                "happy path against quadratic BA's all-to-all rounds, "
+                "with the Dolev-Reischuk Ω(f²) message bound as the "
+                "floor both must respect (Momose-Ren frames the "
+                "comparison; docs/PROTOCOLS.md).",
+    scenarios=(
+        ScenarioSpec(
+            name="leader-ba",
+            protocol="leader-ba",
+            grid={"n": (16, 28, 40, 52)},
+            fixed={"f": f_third_minus_one},
+            inputs="mixed",
+            seeds=range(3),
+        ),
+        ScenarioSpec(
+            name="quadratic",
+            protocol="quadratic",
+            grid={"n": (16, 28, 40, 52)},
+            fixed={"f": f_half_minus_one},
+            inputs="mixed",
+            seeds=range(3),
+        ),
+        # The lower-bound line: the Dolev-Reischuk counting attack at
+        # the same sizes, whose reported message census is the Ω(f²)
+        # floor the words-vs-n comparison is plotted against.
+        ScenarioSpec(
+            name="dolev-reischuk-bound",
+            protocol="naive-broadcast",
+            executor="dolev-reischuk",
+            grid={"n": (16, 28, 40, 52)},
+            fixed={"f": f_third_minus_one, "sender_input": 0,
+                   "total_rounds": 8},
+            seeds=(0,),
+        ),
+    ),
+)
+
 SMOKE = SweepSpec(
     name="smoke",
     description="Seconds-scale adversary grid for CI and tests.",
@@ -302,6 +394,7 @@ SWEEPS: Dict[str, SweepSpec] = {
     sweep.name: sweep
     for sweep in (COMM_VS_N, ADVERSARY_GRID, RESILIENCE_FRONTIER,
                   LATENCY_STRESS, PARTITION_HEAL, EARLY_STOP_VS_DELTA,
+                  LEADER_VS_DELTA, LEADER_VS_QUADRATIC,
                   TOPOLOGY_GRID, SMOKE)
 }
 

@@ -33,6 +33,13 @@ GST-aware early-stopping variants (``docs/PROTOCOLS.md``):
   with certified-round detectors that terminate the moment a trusted
   unanimous round is observed, instead of running out the worst-case
   round budget.
+
+The deployed leader-based family (``docs/PROTOCOLS.md``):
+
+- :mod:`repro.protocols.leader_ba` — Tendermint-style view-based BA
+  under partial synchrony: round-robin leaders, 2f+1 prevote-QCs, a
+  locked-value/valid-value view-change path, and a multi-height chain
+  workload (``leader-chain``) with locks carried across heights.
 """
 
 from repro.protocols.base import ProtocolInstance
@@ -40,6 +47,7 @@ from repro.protocols.early_stopping import (
     build_phase_king_early_stop,
     build_quadratic_ba_early_stop,
 )
+from repro.protocols.leader_ba import build_leader_ba, build_leader_chain
 from repro.protocols.quadratic_ba import build_quadratic_ba
 from repro.protocols.subquadratic_ba import build_subquadratic_ba
 from repro.protocols.phase_king import build_phase_king
@@ -54,6 +62,8 @@ from repro.protocols.verification import VerificationCache
 __all__ = [
     "ProtocolInstance",
     "VerificationCache",
+    "build_leader_ba",
+    "build_leader_chain",
     "build_quadratic_ba",
     "build_quadratic_ba_early_stop",
     "build_subquadratic_ba",

@@ -1,0 +1,218 @@
+"""Property-based safety/liveness suite for the leader family.
+
+Seeded randomized evidence for ``protocols/leader_ba.py`` (the idiom of
+``tests/test_event_engine_properties.py``: every configuration is drawn
+from a ``random.Random`` keyed by its case number, so a failure
+reproduces from the case number alone):
+
+- **Agreement and validity never break** across 120 sampled
+  Δ-bounded ``NetworkConditions`` × adversary configurations — crashed
+  leaders (``crash``), assassinated leaders (``leader-killer``), and
+  Byzantine equivocating leaders driving the view-change path
+  (``view-split``) — on both engines, single-height and chained.
+- **Decision lands within the Δ-derived view budget after GST**: every
+  honest node decides, and the settled view stays within
+  ``default_views_per_height`` (burned pre-GST views + f + 1 leader
+  rotations + slack) — the bounded-liveness claim of the view timers.
+- **Locks never regress**: every lock absorption across every node's
+  whole execution is rank-monotone (instrumented at the absorption
+  point, so the invariant is checked at every event, not just at exit).
+- Per-height decisions of the chain workload agree bit-for-bit across
+  honest nodes.
+"""
+
+import random
+
+import pytest
+
+from repro.adversaries import (
+    CrashAdversary,
+    LeaderKillerAdversary,
+    ViewSplitAdversary,
+)
+from repro.harness import run_instance
+from repro.protocols.certificates import rank
+from repro.protocols.leader_ba import (
+    build_leader_ba,
+    decision_view_of,
+    default_views_per_height,
+)
+from repro.sim.conditions import LinkTopology, NetworkConditions, Partition
+
+#: 120 sampled adversarial configurations (above the satellite's 100
+#: floor), split into chunks so a failing sample names a small replay
+#: set.
+PROPERTY_CASES = 120
+CHUNK = 10
+
+ADVERSARY_KINDS = ("none", "crash", "leader-killer", "leader-killer",
+                   "view-split", "view-split")
+
+
+def random_leader_conditions(rng: random.Random) -> NetworkConditions:
+    """A random partial-synchrony environment inside the guaranteed
+    regime: arbitrary Δ/latency/topology, a GST with pre-GST losses and
+    (sometimes) a healing partition — everything the view timers are
+    budgeted for via ``trusted_send_round``."""
+    delta = rng.randint(1, 5)
+    kind = rng.choice(("fixed", "uniform", "geometric"))
+    if kind == "fixed":
+        latency = ("fixed", rng.randint(1, delta))
+    elif kind == "uniform":
+        lo = rng.randint(1, delta)
+        latency = ("uniform", lo, rng.randint(lo, delta))
+    else:
+        latency = ("geometric", rng.choice((0.3, 0.5, 0.8)))
+    gst = rng.choice((0, 0, rng.randint(1, 2 * delta)))
+    drop_rate = rng.choice((0.0, 0.1, 0.25)) if gst else 0.0
+    duplicate_rate = rng.choice((0.0, 0.1)) if gst else 0.0
+    topology = None
+    if delta > 1:
+        topology = rng.choice((
+            None,
+            LinkTopology.clustered(clusters=2, extra=rng.randint(1, delta)),
+            LinkTopology.star(hub=0, extra=rng.randint(1, delta)),
+        ))
+    partitions = ()
+    if gst and rng.random() < 0.3:
+        start = rng.randint(0, 2)
+        partitions = (Partition(start=start,
+                                end=start + rng.randint(2, 4),
+                                split=rng.choice((0.3, 0.5))),)
+    return NetworkConditions(
+        delta=delta, gst=gst, latency=latency, drop_rate=drop_rate,
+        duplicate_rate=duplicate_rate, partitions=partitions,
+        topology=topology)
+
+
+def random_inputs(rng: random.Random, n: int):
+    if rng.random() < 0.5:
+        bit = rng.randint(0, 1)
+        return [bit] * n, bit
+    return [rng.randint(0, 1) for _ in range(n)], None
+
+
+def make_adversary(kind: str, instance, seed: int):
+    if kind == "crash":
+        return CrashAdversary()
+    if kind == "leader-killer":
+        return LeaderKillerAdversary(instance)
+    if kind == "view-split":
+        return ViewSplitAdversary(instance)
+    return None
+
+
+def instrument_locks(instance):
+    """Record the lock rank after every absorption on every node, so
+    the monotonicity check covers each event of the execution."""
+    histories = {}
+    for node in instance.nodes:
+        history = []
+        histories[node.node_id] = history
+        original = node._absorb_qc
+
+        def absorb(qc, node=node, history=history, original=original):
+            original(qc)
+            history.append(rank(node.locked))
+
+        node._absorb_qc = absorb
+    return histories
+
+
+def assert_locks_monotone(histories, context):
+    for node_id, history in histories.items():
+        assert history == sorted(history), \
+            f"lock regressed on node {node_id} ({context}): {history}"
+
+
+@pytest.mark.slow
+class TestLeaderBaProperties:
+    @pytest.mark.parametrize("chunk", range(PROPERTY_CASES // CHUNK))
+    def test_safety_liveness_and_lock_monotonicity(self, chunk):
+        for case in range(chunk * CHUNK, (chunk + 1) * CHUNK):
+            rng = random.Random(f"leader-properties-{case}")
+            conditions = random_leader_conditions(rng)
+            f = rng.randint(0, 2)
+            n = 3 * f + 1 + rng.randint(0, 2)
+            heights = rng.choice((1, 1, 1, 2))
+            inputs, expected = random_inputs(rng, n)
+            seed = rng.randint(0, 2**16)
+            kind = rng.choice(ADVERSARY_KINDS)
+            scheduler = rng.choice(("lockstep", "event"))
+            budget = default_views_per_height(f, conditions)
+
+            instance = build_leader_ba(n, f, inputs, seed=seed,
+                                       heights=heights,
+                                       conditions=conditions)
+            histories = instrument_locks(instance)
+            adversary = make_adversary(kind, instance, seed)
+            result = run_instance(instance, f, adversary, seed=seed,
+                                  conditions=conditions,
+                                  scheduler=scheduler)
+            context = (f"case {case}: n={n} f={f} heights={heights} "
+                       f"adversary={kind} {scheduler} "
+                       f"{conditions.describe()}")
+
+            # Safety: agreement and validity are never violated.
+            assert result.consistent(), f"agreement broken ({context})"
+            assert result.agreement_valid(), f"validity broken ({context})"
+            if expected is not None:
+                assert set(result.honest_outputs) == {expected}, \
+                    f"unanimity not carried ({context})"
+
+            # Liveness: every honest node decides, within the Δ-derived
+            # view budget after GST (per height).
+            assert result.all_decided(), f"termination broken ({context})"
+            assert decision_view_of(result) <= budget * heights, \
+                f"view budget exceeded ({context})"
+
+            # Locks never regress, at any absorption event on any node.
+            assert_locks_monotone(histories, context)
+
+            # Chain workload: per-height decisions agree bit-for-bit
+            # across honest nodes (different quorum views are fine).
+            honest = [node for node in instance.nodes
+                      if node.node_id not in result.corrupt_set]
+            for height in range(1, heights + 1):
+                bits = {node.height_decisions[height][1]
+                        for node in honest
+                        if height in node.height_decisions}
+                assert len(bits) == 1, \
+                    f"height {height} split ({context})"
+
+
+class TestLeaderBaTargeted:
+    def test_byzantine_leader_cannot_break_unanimity(self):
+        """Strong unanimity under the view-splitting Byzantine leader:
+        with every honest input b, no justification for 1-b can ever be
+        assembled (f corrupt attestations are one short of f+1, and no
+        QC for 1-b forms inductively)."""
+        for bit in (0, 1):
+            for seed in range(5):
+                conditions = NetworkConditions(
+                    delta=2, gst=6, latency=("uniform", 1, 2),
+                    drop_rate=0.2)
+                instance = build_leader_ba(7, 2, [bit] * 7, seed=seed,
+                                           conditions=conditions)
+                adversary = ViewSplitAdversary(instance)
+                result = run_instance(instance, 2, adversary, seed=seed,
+                                      conditions=conditions,
+                                      scheduler="event")
+                assert result.consistent() and result.all_decided()
+                assert set(result.honest_outputs) == {bit}
+
+    def test_decides_in_first_view_unopposed(self):
+        """Lock-step, no adversary: one view suffices (the happy path
+        the leader-vs-quadratic comparison measures)."""
+        result = run_instance(build_leader_ba(7, 2, [1, 0, 1, 0, 1, 0, 1]),
+                              f=2, adversary=None, seed=0)
+        assert result.all_decided() and result.consistent()
+        assert decision_view_of(result) == 1
+
+    def test_view_budget_is_gst_aware(self):
+        """A later GST buys a larger view budget (more burned views)."""
+        early = NetworkConditions(delta=2, gst=4, latency=("fixed", 1))
+        late = NetworkConditions(delta=2, gst=24, latency=("fixed", 1))
+        assert (default_views_per_height(2, late)
+                > default_views_per_height(2, early)
+                >= default_views_per_height(2, None))
