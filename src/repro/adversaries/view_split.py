@@ -20,10 +20,11 @@ Against the view-based leader family the same split drives the
 view-change machinery instead: per-half conflicting NewView
 attestations, per-half conflicting proposals whenever a corrupt node
 holds the view's leadership (justified by harvested honest attestations
-plus corrupt signatures), and per-half conflicting prevotes.  The 2f+1
-prevote quorums make equal-rank opposite QCs impossible there, so the
-attack can only burn views and split locks, never agreement — the
-property suite pins exactly that.
+plus corrupt signatures), and per-half conflicting prevotes.  The n−f
+prevote quorums intersect in n−2f > f nodes for every admitted n > 3f,
+making equal-rank opposite QCs impossible there, so the attack can only
+burn views and split locks, never agreement — the property suite pins
+exactly that.
 """
 
 from __future__ import annotations

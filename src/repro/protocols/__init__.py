@@ -37,7 +37,7 @@ GST-aware early-stopping variants (``docs/PROTOCOLS.md``):
 The deployed leader-based family (``docs/PROTOCOLS.md``):
 
 - :mod:`repro.protocols.leader_ba` — Tendermint-style view-based BA
-  under partial synchrony: round-robin leaders, 2f+1 prevote-QCs, a
+  under partial synchrony: round-robin leaders, n−f prevote-QCs, a
   locked-value/valid-value view-change path, and a multi-height chain
   workload (``leader-chain``) with locks carried across heights.
 """

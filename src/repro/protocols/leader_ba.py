@@ -4,7 +4,7 @@ The paper's protocols iterate over *randomly announced or mined*
 proposers; the deployed form of the same communication-complexity
 question (Momose-Ren, "Optimal Communication Complexity of Authenticated
 Byzantine Agreement"; Cohen-Keidar-Naor's survey) is the **view-based
-leader protocol**: a round-robin leader per view, ``2f + 1`` quorum
+leader protocol**: a round-robin leader per view, ``n - f`` quorum
 certificates, and a locked-value/valid-value rule carrying safety across
 view changes.  This module implements that family against the repo's
 simulation contract, reusing :mod:`repro.protocols.certificates` /
@@ -33,13 +33,13 @@ Resilience is ``n > 3f`` (the partial-synchrony optimum).  Each view
    assembly and verification are the unmodified
    :func:`~repro.protocols.certificates.certificate_from_votes` /
    shared-cache :meth:`~repro.protocols.verification.VerificationCache.
-   check_certificate` machinery at threshold ``2f + 1``.
-4. **Precommit** — on ``2f + 1`` valid view-``v`` prevotes for ``b`` the
+   check_certificate` machinery at threshold ``n - f``.
+4. **Precommit** — on ``n - f`` valid view-``v`` prevotes for ``b`` the
    node assembles the prevote-QC, adopts it as its lock (locks only ever
    *grow* in rank — the locks-never-regress invariant the property suite
    pins), and multicasts ``(Precommit, v, b)``.
 
-A quorum of ``2f + 1`` valid view-``v`` precommits for ``b`` decides
+A quorum of ``n - f`` valid view-``v`` precommits for ``b`` decides
 ``b``: the decider multicasts a transferable
 :class:`LeaderDecideMsg` carrying the precommit quorum (validated per
 auth, like the iterated BA's ``Terminate`` commits) and halts — but only
@@ -49,14 +49,17 @@ drop copies keeps re-announcing at each view boundary until a trusted
 round passes, so no laggard can be stranded behind a pre-GST loss.
 
 **Safety across view changes** (the standard Tendermint argument, per
-height): if an honest node decides ``b`` at view ``v``, then ``2f + 1``
-precommitted, so at least ``f + 1`` honest nodes hold a rank-``v`` lock
-on ``b``.  Any later prevote-QC needs ``2f + 1`` prevotes and therefore
-an honest prevoter from that locked set, which only accepts ``b`` again
-(an opposite proposal would need a QC of rank ``>= v`` for ``1 - b``,
-which by induction never forms; equal-rank QCs for opposite bits are
-impossible — two ``2f + 1`` quorums out of ``n = 3f + 1`` overlap in
-``f + 1`` nodes, more than the ``f`` possible double-voters).
+height): if an honest node decides ``b`` at view ``v``, then ``n - f``
+precommitted, so at least ``n - 2f`` honest nodes hold a rank-``v``
+lock on ``b``.  Any later prevote-QC needs ``n - f`` prevotes and hence
+``n - 2f`` honest prevoters; two honest subsets of size ``n - 2f``
+among the ``n - f`` honest nodes overlap in ``n - 3f >= 1`` members, so
+some prevoter holds that lock and only accepts ``b`` again (an opposite
+proposal would need a QC of rank ``>= v`` for ``1 - b``, which by
+induction never forms; equal-rank QCs for opposite bits are impossible
+— two ``n - f`` quorums overlap in ``n - 2f > f`` nodes, more than the
+``f`` possible double-voters, for *every* admitted ``n > 3f``; a fixed
+``2f + 1`` threshold would cover only ``n = 3f + 1``).
 
 **View timers** are derived from the network conditions: with dilation
 ``Δ`` and GST, sends become reliable from protocol round
@@ -177,7 +180,14 @@ def decision_view_of(result: Any) -> int:
         # The decision round tallies the *previous* round's precommit
         # quorum, so the settled view is the round before's.
         return view_of_round(max(max(rounds) - 1, 0))
-    return view_of_round(max(result.rounds_executed - 1, 0))
+    settled = view_of_round(max(result.rounds_executed - 1, 0))
+    budget = getattr(result, "rounds_budget", None)
+    if budget is not None and budget > VIEW_ROUNDS:
+        # The round budget pads two trailing delivery rounds past the
+        # last view (rounds_for_views); an exhausted run must not report
+        # those as a view of their own.
+        settled = min(settled, (budget - 2) // VIEW_ROUNDS)
+    return settled
 
 
 # ---------------------------------------------------------------------------
@@ -222,8 +232,8 @@ class LeaderProposeMsg:
 
 @dataclass(frozen=True)
 class PrevoteMsg:
-    """``(Prevote, v, b)``; the auth topic is ``("Vote", v, b)`` so a
-    ``2f + 1`` quorum of these is a
+    """``(Prevote, v, b)``; the auth topic is ``("Vote", v, b)`` so an
+    ``n - f`` quorum of these is a
     :class:`~repro.protocols.certificates.Certificate` verifiable by the
     unmodified shared-cache machinery."""
 
@@ -246,7 +256,7 @@ class PrecommitMsg:
 
 @dataclass(frozen=True)
 class LeaderDecideMsg:
-    """``(Decide, v, b)`` carrying the ``2f + 1`` precommit quorum.
+    """``(Decide, v, b)`` carrying the ``n - f`` precommit quorum.
 
     Transferable proof of the decision: each attached precommit is
     authenticated individually (never through the certificate cache,
@@ -269,7 +279,7 @@ class LeaderDecideMsg:
 class LeaderBaConfig:
     """Shared parameters of one leader-BA execution."""
 
-    threshold: int  # 2f + 1 quorums
+    threshold: int  # n - f quorums: intersection n - 2f > f for all n > 3f
     fallback_quorum: int  # f + 1 fresh attestations justify a proposal
     authenticator: Authenticator
     proposer: ProposerPolicy
@@ -629,6 +639,12 @@ class LeaderBaNode(Node):
                 ctx.multicast(message)
                 self.precommits_seen.setdefault(
                     (view, bit), {}).setdefault(self.node_id, message)
+            # At most one precommit per view.  Quorum intersection
+            # (n - 2f > f overlap) makes a same-view quorum for the
+            # other bit impossible; stopping here turns that safety
+            # argument into an explicit structural invariant instead of
+            # an assumption about the vote tallies.
+            break
 
     # -- main entry point ----------------------------------------------------
     def on_round(self, ctx: RoundContext) -> None:
@@ -688,8 +704,10 @@ def build_leader_ba(
 ) -> ProtocolInstance:
     """Construct a leader-BA execution over ``n`` nodes.
 
-    ``f`` must satisfy ``n > 3f`` (the partial-synchrony optimum for
-    ``2f + 1`` quorum intersection).  ``conditions`` — the same
+    ``f`` must satisfy ``n > 3f`` (the partial-synchrony optimum);
+    quorums are ``n - f``, so any two intersect in ``n - 2f > f`` nodes
+    for every admitted ``n`` — not just ``n = 3f + 1``, where ``n - f``
+    coincides with the textbook ``2f + 1``.  ``conditions`` — the same
     :class:`~repro.sim.conditions.NetworkConditions` the engine will run
     under — derives the view-timer budget and the decide-announcement
     drain gate from Δ/GST; ``None`` (or perfect conditions) is
@@ -712,7 +730,7 @@ def build_leader_ba(
     authenticator = SignatureAuthenticator(registry)
     leader_oracle = oracle if oracle is not None else RoundRobinLeaderOracle(n)
     config = LeaderBaConfig(
-        threshold=2 * f + 1,
+        threshold=n - f,
         fallback_quorum=f + 1,
         authenticator=authenticator,
         proposer=OracleProposerPolicy(leader_oracle, authenticator),

@@ -1,5 +1,10 @@
 """Tests for leader oracles and the execution-result predicates."""
 
+from repro.protocols.leader_ba import (
+    decision_view_of,
+    rounds_for_views,
+    view_of_round,
+)
 from repro.sim.leader import RandomLeaderOracle, RoundRobinLeaderOracle
 from repro.sim.metrics import CommunicationMetrics
 from repro.sim.result import ExecutionResult
@@ -83,3 +88,29 @@ class TestResultPredicates:
         text = _result({0: 1, 1: 1}).summary()
         assert "consistent=True" in text
         assert "n=2" in text
+
+
+class TestDecisionViewOf:
+    def _timed_out(self, views):
+        """A run that exhausted its ``views``-view budget undecided."""
+        budget = rounds_for_views(views)
+        result = _result({0: 1, 1: 1})
+        result.decided_rounds = {0: None, 1: None}
+        result.rounds_executed = budget
+        result.rounds_budget = budget
+        return result
+
+    def test_exhausted_budget_reports_the_last_view(self):
+        """The two trailing delivery rounds past the last view must not
+        be reported as a view of their own: without the clamp the raw
+        round arithmetic lands on ``views + 1``."""
+        for views in (1, 3, 7):
+            result = self._timed_out(views)
+            assert view_of_round(result.rounds_executed - 1) == views + 1
+            assert decision_view_of(result) == views
+
+    def test_decided_run_is_not_clamped(self):
+        result = _result({0: 1, 1: 1})
+        result.rounds_budget = rounds_for_views(2)
+        result.decided_rounds = {0: 5, 1: 5}
+        assert decision_view_of(result) == view_of_round(4)

@@ -144,6 +144,43 @@ class TestBothEnginesIdentity:
             final_rng_state(SCHEDULER_LOCKSTEP)
 
 
+class TestQuorumThreshold:
+    """Regressions for the quorum-intersection fix: the threshold is
+    ``n - f`` (not a fixed ``2f + 1``), so two quorums intersect in more
+    than ``f`` nodes for *every* admitted ``n > 3f`` — including the
+    ``n = 3f + 2`` / ``3f + 3`` configurations where ``2f + 1`` quorums
+    would admit equal-rank prevote-QCs for opposite bits."""
+
+    @pytest.mark.parametrize("n,f", [(4, 1), (5, 1), (6, 1),
+                                     (7, 2), (8, 2), (9, 2), (10, 3)])
+    def test_threshold_is_n_minus_f(self, n, f):
+        instance = build_leader_ba(n, f, _inputs(n))
+        threshold = instance.services["threshold"]
+        assert threshold == n - f
+        # The safety bound itself: two quorums overlap in more nodes
+        # than the adversary can double-vote.
+        assert 2 * threshold - n > f
+
+    @pytest.mark.parametrize("n,f", [(8, 2), (9, 2)])
+    def test_view_split_cannot_break_agreement_beyond_3f_plus_1(
+            self, n, f):
+        """The review's concrete failure shape: n > 3f + 1 with an
+        equivocating corrupt leader unicasting per-half conflicting
+        proposals and prevotes under pre-GST drops."""
+        conditions = NetworkConditions(delta=2, gst=6,
+                                       latency=("uniform", 1, 2),
+                                       drop_rate=0.25)
+        for seed in range(5):
+            instance = build_leader_ba(n, f, _inputs(n), seed=seed,
+                                       conditions=conditions)
+            adversary = ViewSplitAdversary(instance)
+            result = run_instance(instance, f, adversary, seed=seed,
+                                  conditions=conditions,
+                                  scheduler=SCHEDULER_EVENT)
+            assert result.consistent(), f"n={n} f={f} seed {seed}"
+            assert result.agreement_valid(), f"n={n} f={f} seed {seed}"
+
+
 class TestLeaderKillerRegressions:
     def test_honest_view_after_gst_still_decides(self):
         """The pinned liveness claim: the killer burns its whole budget
