@@ -63,6 +63,11 @@ REQUIRED_LINKS = (
     # words-vs-n comparison) and at the module map it slots into.
     ("docs/PROTOCOLS.md", "docs/RESULTS.md"),
     ("docs/PROTOCOLS.md", "docs/ARCHITECTURE.md"),
+    # The adaptive-family pass: the scenario schema's network/topology
+    # bindings (which the words-vs-actual-f cells ride on) and the
+    # network page's scenario pointer must stay mutually reachable.
+    ("docs/SCENARIOS.md", "docs/NETWORK.md"),
+    ("docs/NETWORK.md", "docs/SCENARIOS.md"),
 )
 
 

@@ -293,6 +293,69 @@ def profile_event_engine_wan(n: int = 8, f: int = 3,
     }
 
 
+def profile_adaptive_words(n: int = 25, f: int = 8,
+                           actuals=(0, 4, 8), seed: int = 1) -> dict:
+    """The adaptive family makes every word count: total words
+    (``classical_message_count``) of ``adaptive-ba`` at actual fault
+    counts f* ∈ {0, f/2, f} for a fixed system size, against the
+    quadratic-BA baseline at the same points.
+
+    Asserts the fault-free run costs at most ``FAST_PATH_WORD_FACTOR·n``
+    words (the documented constant-factor-of-n fast path — exactly
+    ``4(n-1)`` as implemented), that words are monotone in f*, and that
+    every adaptive point stays strictly below the quadratic baseline.
+    """
+    from repro.adversaries import ActualFaultsAdversary
+    from repro.harness import run_instance
+    from repro.protocols.adaptive_ba import (
+        FAST_PATH_WORD_FACTOR, build_adaptive_ba, escalations_of, words_of)
+
+    inputs = [1] * n
+
+    def timed_run(builder, actual):
+        instance = builder(n, f, inputs, seed=seed)
+        adversary = ActualFaultsAdversary(actual=actual)
+        start = time.perf_counter()
+        result = run_instance(instance, f, adversary, seed=seed)
+        return result, time.perf_counter() - start
+
+    points = []
+    for actual in actuals:
+        adaptive, adaptive_wall = timed_run(build_adaptive_ba, actual)
+        quadratic, quadratic_wall = timed_run(build_quadratic_ba, actual)
+        for result in (adaptive, quadratic):
+            assert result.consistent() and result.all_decided(), \
+                f"adaptive-words profile invalid at actual={actual}"
+        adaptive_words = words_of(adaptive)
+        quadratic_words = words_of(quadratic)
+        assert adaptive_words < quadratic_words, \
+            f"adaptive words {adaptive_words} not below quadratic " \
+            f"{quadratic_words} at actual={actual}"
+        points.append({
+            "actual_faults": actual,
+            "adaptive_words": adaptive_words,
+            "adaptive_escalations": escalations_of(adaptive),
+            "quadratic_words": quadratic_words,
+            "wall_seconds_adaptive": round(adaptive_wall, 4),
+            "wall_seconds_quadratic": round(quadratic_wall, 4),
+        })
+    fast_path = points[0]
+    assert fast_path["actual_faults"] == 0
+    assert fast_path["adaptive_words"] <= FAST_PATH_WORD_FACTOR * n, \
+        f"fault-free words {fast_path['adaptive_words']} exceed " \
+        f"{FAST_PATH_WORD_FACTOR}·n"
+    words = [p["adaptive_words"] for p in points]
+    assert words == sorted(words), \
+        f"adaptive words not monotone in actual faults: {words}"
+    return {
+        "n": n,
+        "f": f,
+        "seed": seed,
+        "fast_path_word_factor": FAST_PATH_WORD_FACTOR,
+        "adaptive_points": points,
+    }
+
+
 def profile_sweep(name: str = "adversary-grid") -> dict:
     """One named sweep, with and without the shared lottery cache."""
     from repro.harness.scenarios import run_sweep
@@ -381,6 +444,7 @@ def main() -> None:
         "network-fast-path-n96": profile_network_fast_path(96, 47),
         "event-engine-wan": profile_event_engine_wan(),
         "early-stop-n96-lan": profile_early_stop(96, 31),
+        "adaptive-words": profile_adaptive_words(25, 8),
         "store-replay-smoke": profile_store("smoke"),
     }
     for name, profile in profiles.items():
@@ -426,6 +490,14 @@ def main() -> None:
             print(f"  {name}: event vs lockstep {curve} "
                   f"(skip density {densest['skip_density']} at "
                   f"Δ={densest['delta']}; all points result-identical)")
+        elif "adaptive_points" in profile:
+            curve = " ".join(
+                f"f*={p['actual_faults']}:{p['adaptive_words']}w"
+                for p in profile["adaptive_points"])
+            quad = profile["adaptive_points"][0]["quadratic_words"]
+            print(f"  {name}: {curve} "
+                  f"(quadratic baseline {quad}w at f*=0; fast path <= "
+                  f"{profile['fast_path_word_factor']}n)")
         elif "rounds_saved" in profile:
             print(f"  {name}: {profile['rounds_executed_early_stop']} rounds "
                   f"({profile['wall_seconds_early_stop']}s) vs fixed budget "

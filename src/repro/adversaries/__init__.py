@@ -23,6 +23,9 @@ executable adversary here:
 - :mod:`repro.adversaries.network_scheduler` — the partial-synchrony
   scheduler: delays honest traffic to the Δ deadline (maximal reordering
   at zero corruption cost; only exists under network conditions).
+- :mod:`repro.adversaries.actual_faults` — the adaptive-BA dial: crash
+  exactly ``k <= f`` nodes (the first ``k``, i.e. the upcoming
+  collectors/leaders), so measured words track the *actual* fault count.
 """
 
 from repro.adversaries.sandbox import SandboxRunner
@@ -35,9 +38,11 @@ from repro.adversaries.strongly_adaptive import IsolationAdversary
 from repro.adversaries.leader_killer import LeaderKillerAdversary
 from repro.adversaries.network_scheduler import DelayAdversary
 from repro.adversaries.view_split import ViewSplitAdversary
+from repro.adversaries.actual_faults import ActualFaultsAdversary
 
 __all__ = [
     "SandboxRunner",
+    "ActualFaultsAdversary",
     "CrashAdversary",
     "StaticEquivocationAdversary",
     "AdaptiveSpeakerAdversary",

@@ -66,6 +66,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.adversaries import (
+    ActualFaultsAdversary,
     AdaptiveSpeakerAdversary,
     CrashAdversary,
     LeaderKillerAdversary,
@@ -117,8 +118,14 @@ _CONDITIONS_PROTOCOLS = EARLY_STOP_PROTOCOLS | frozenset(
 _VIEW_PROTOCOLS = frozenset(
     key for key, entry in PROTOCOL_REGISTRY.items() if entry.view_based)
 
+#: Adaptive protocols (words scale with the actual fault count): ``run``
+#: reports the escalation epochs and the classical word count.
+_ADAPTIVE_PROTOCOLS = frozenset(
+    key for key, entry in PROTOCOL_REGISTRY.items() if entry.adaptive)
+
 ADVERSARIES = {
     "none": lambda instance: None,
+    "actual-faults": lambda instance: ActualFaultsAdversary(),
     "crash": lambda instance: CrashAdversary(),
     "equivocate": StaticEquivocationAdversary,
     "speaker": AdaptiveSpeakerAdversary,
@@ -270,6 +277,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="corruption budget (default: 0.25n)")
     run.add_argument("--adversary", choices=sorted(ADVERSARIES),
                      default="none")
+    run.add_argument("--actual", type=int, default=None,
+                     help="actual fault count k for the actual-faults "
+                          "adversary (default: the whole budget f)")
     run.add_argument("--input", choices=["zeros", "ones", "mixed"],
                      default="mixed")
     run.add_argument("--lam", type=int, default=30,
@@ -520,7 +530,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # timers) on the conditions' trusted-send round.
         kwargs.update(conditions=conditions)
     instance = builder(**kwargs)
-    adversary = ADVERSARIES[args.adversary](instance)
+    if args.adversary == "actual-faults":
+        adversary = ActualFaultsAdversary(actual=args.actual)
+    elif args.actual is not None:
+        print("run: --actual only applies to --adversary actual-faults",
+              file=sys.stderr)
+        return 2
+    else:
+        adversary = ADVERSARIES[args.adversary](instance)
     result = run_instance(instance, f, adversary, seed=args.seed,
                           conditions=conditions)
     trace = summarize_transcript(result.require_transcript())
@@ -547,6 +564,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         settled = decision_view_of(result)
         print(f"settled view:        {settled} "
               f"({settled - 1} view change(s))")
+    if args.protocol in _ADAPTIVE_PROTOCOLS:
+        from repro.protocols.adaptive_ba import escalations_of, words_of
+        print(f"escalations:         {escalations_of(result)} "
+              f"(actual faults {result.corruptions_used}, "
+              f"{words_of(result)} words)")
     print(f"corruptions used:    {result.corruptions_used}")
     print(f"honest multicasts:   "
           f"{result.metrics.multicast_complexity_messages}")

@@ -74,6 +74,7 @@ from typing import (
 
 from repro.adversaries import (
     AckEquivocationAdversary,
+    ActualFaultsAdversary,
     AdaptiveSpeakerAdversary,
     CrashAdversary,
     DelayAdversary,
@@ -92,6 +93,7 @@ from repro.sim.conditions import (
     NetworkConditions,
 )
 from repro.protocols import (
+    build_adaptive_ba,
     build_broadcast_from_ba,
     build_dolev_strong,
     build_leader_ba,
@@ -145,6 +147,11 @@ class ProtocolEntry:
     #: from the per-trial settled view (see STORE_SALT in store.py —
     #: bumped when these columns landed).
     view_based: bool = False
+    #: Adaptive protocols (words scale with the actual fault count):
+    #: the cell's artifact row gains ``mean_words`` /
+    #: ``mean_actual_faults`` / ``mean_escalations`` columns (the v4
+    #: STORE_SALT bump).
+    adaptive: bool = False
 
 
 PROTOCOLS: Dict[str, ProtocolEntry] = {
@@ -158,6 +165,8 @@ PROTOCOLS: Dict[str, ProtocolEntry] = {
         build_leader_ba, takes_conditions=True, view_based=True),
     "leader-chain": ProtocolEntry(
         build_leader_chain, takes_conditions=True, view_based=True),
+    "adaptive-ba": ProtocolEntry(
+        build_adaptive_ba, takes_conditions=True, adaptive=True),
     "phase-king": ProtocolEntry(build_phase_king),
     "phase-king-early-stop": ProtocolEntry(
         build_phase_king_early_stop, early_stopping=True),
@@ -187,8 +196,13 @@ def _delay_adversary(instance, **kwargs):
     return DelayAdversary(**kwargs)
 
 
+def _actual_faults_adversary(instance, **kwargs):
+    return ActualFaultsAdversary(**kwargs)
+
+
 ADVERSARIES: Dict[str, Callable[..., Any]] = {
     "none": _no_adversary,
+    "actual-faults": _actual_faults_adversary,
     "crash": _crash_adversary,
     "delay": _delay_adversary,
     "equivocate": StaticEquivocationAdversary,
@@ -384,6 +398,23 @@ def _bind_cell(spec: ScenarioSpec, raw: Dict[str, Any]) -> Cell:
     if adversary is not None and adversary not in ADVERSARIES:
         raise ConfigurationError(
             f"unknown adversary {adversary!r} (have {sorted(ADVERSARIES)})")
+    # ``adversary_<kw>``-prefixed bindings are grid-able adversary
+    # keyword arguments: ``adversary_actual`` on a grid axis becomes
+    # ``actual=...`` to the cell's adversary factory (over any value in
+    # ``spec.adversary_kwargs``), and the prefixed name stays in the
+    # artifact row so the axis is visible — e.g. the adaptive family's
+    # words-vs-actual-f sweep dials f* through ``adversary_actual``.
+    adversary_kwargs = dict(spec.adversary_kwargs)
+    adversary_axes: List[Tuple[str, Any]] = []
+    for key in [key for key in raw if key.startswith("adversary_")]:
+        value = raw.pop(key)
+        adversary_kwargs[key[len("adversary_"):]] = value
+        adversary_axes.append((key, value))
+    if adversary_axes and adversary is None:
+        raise ConfigurationError(
+            f"scenario {spec.name!r}: adversary_-prefixed bindings "
+            f"({sorted(key for key, _ in adversary_axes)}) require an "
+            "adversary binding to apply to")
     inputs_key = raw.pop("inputs", spec.inputs)
     if inputs_key is not None and inputs_key not in INPUTS:
         raise ConfigurationError(
@@ -527,6 +558,8 @@ def _bind_cell(spec: ScenarioSpec, raw: Dict[str, Any]) -> Cell:
         _record(key, value)
     if adversary is not None:
         _record("adversary", adversary)
+    for key, value in adversary_axes:
+        _record(key, value)
     if inputs_key is not None:
         _record("inputs", inputs_key)
     if network_label is not None:
@@ -539,7 +572,7 @@ def _bind_cell(spec: ScenarioSpec, raw: Dict[str, Any]) -> Cell:
         executor=spec.executor,
         protocol=spec.protocol,
         adversary=adversary,
-        adversary_kwargs=tuple(sorted(spec.adversary_kwargs.items())),
+        adversary_kwargs=tuple(sorted(adversary_kwargs.items())),
         inputs=inputs_key,
         network=network,
         n=n,
@@ -583,7 +616,8 @@ def _is_scalar(value: Any) -> bool:
 
 def _stats_metrics(stats: TrialStats,
                    early_stopping: bool = False,
-                   view_based: bool = False) -> Dict[str, Any]:
+                   view_based: bool = False,
+                   adaptive: bool = False) -> Dict[str, Any]:
     metrics = {
         "trials": stats.trials,
         "consistency_rate": stats.consistency_rate,
@@ -623,6 +657,27 @@ def _stats_metrics(stats: TrialStats,
             sum(views) / trials if trials else 0.0)
         metrics["mean_view_changes"] = (
             sum(view - 1 for view in views) / trials if trials else 0.0)
+    # And the words/fault-count accounting only for the adaptive family,
+    # whose claim is words = O((f* + 1) n) (the v4 STORE_SALT bump).
+    # ``mean_words`` is the classical word count (Definition 6) — the
+    # fast path is built from unicasts the multicast columns do not see.
+    if adaptive:
+        from repro.protocols.adaptive_ba import (
+            actual_faults_of,
+            escalations_of,
+            words_of,
+        )
+        results = stats.results
+        trials = len(results)
+        metrics["mean_words"] = (
+            sum(words_of(result) for result in results) / trials
+            if trials else 0.0)
+        metrics["mean_actual_faults"] = (
+            sum(actual_faults_of(result) for result in results) / trials
+            if trials else 0.0)
+        metrics["mean_escalations"] = (
+            sum(escalations_of(result) for result in results) / trials
+            if trials else 0.0)
     return metrics
 
 
@@ -670,7 +725,8 @@ def _execute_trials(cell: Cell, workers: int,
         **_cell_trial_kwargs(cell, coin_cache),
     )
     return stats, _stats_metrics(stats, early_stopping=entry.early_stopping,
-                                 view_based=entry.view_based)
+                                 view_based=entry.view_based,
+                                 adaptive=entry.adaptive)
 
 
 def _execute_per_seed(cell: Cell, workers: int,
@@ -698,7 +754,8 @@ def _execute_per_seed(cell: Cell, workers: int,
         records.append((result, adversary))
         stats.add(result)
     return records, _stats_metrics(stats, early_stopping=entry.early_stopping,
-                                   view_based=entry.view_based)
+                                   view_based=entry.view_based,
+                                   adaptive=entry.adaptive)
 
 
 def _attack_kwargs(cell: Cell) -> Dict[str, Any]:

@@ -87,10 +87,14 @@ from repro.harness.backends import StoreBackend, backend_for_path
 #: without changing any cell binding (protocol/engine semantics, the
 #: metrics schema, rebinding a registry key to a different builder) —
 #: every record in every store is invalidated at once.
-STORE_SALT = "ba-repro-store-v3"  # v3: the leader family's view-based
+STORE_SALT = "ba-repro-store-v4"  # v4: the adaptive family's rows
+#                                   gained mean_words/mean_actual_faults/
+#                                   mean_escalations columns, so v3
+#                                   records must miss.
+#                                   (v3: the leader family's view-based
 #                                   rows gained mean_views_executed/
 #                                   mean_view_changes columns, so v2
-#                                   records must miss.
+#                                   records must miss.)
 #                                   (v2: event engine; conditioned cells
 #                                   gained skipped_ticks/events_processed
 #                                   columns, so v1 records must miss.)

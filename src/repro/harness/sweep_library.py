@@ -40,6 +40,12 @@ motivates directly:
 - ``leader-vs-quadratic`` — words per decision versus ``n``: the leader
   family's happy path against quadratic BA, with the Dolev–Reischuk
   counting attack run at the same sizes as the Ω(f²) floor line.
+- ``words-vs-actual-f`` — the adaptive family (``adaptive-ba``,
+  ``docs/PROTOCOLS.md``) dialing the *actual* fault count f* through
+  the ``actual-faults`` adversary at fixed ``(n, f)``: total words grow
+  O((f* + 1) · n) — linear at f* = 0, one amplification epoch per
+  observed fault — while quadratic BA pays Θ(n²) at every f* and the
+  Dolev–Reischuk Ω(f²) census marks the worst-case floor.
 - ``topology-grid`` — one protocol point swept across the per-link
   latency topologies (uniform / clustered / star / ring): security rates
   stay flat while effective delivery latency tracks the topology's
@@ -375,6 +381,62 @@ LEADER_VS_QUADRATIC = SweepSpec(
     ),
 )
 
+WORDS_VS_ACTUAL_F = SweepSpec(
+    name="words-vs-actual-f",
+    description="Adaptive BA's total words vs the actual fault count "
+                "f*: the silent-when-honest fast path costs <= 4n words "
+                "at f* = 0 and each observed fault buys at most one "
+                "linear-cost amplification epoch (O((f*+1)n) words), "
+                "against quadratic BA and the leader family at the same "
+                "(n, f) and the Dolev-Reischuk Ω(f²) floor "
+                "(Cohen-Keidar-Spiegelman; docs/PROTOCOLS.md).",
+    scenarios=(
+        ScenarioSpec(
+            name="adaptive-ba",
+            protocol="adaptive-ba",
+            adversary="actual-faults",
+            # f* as a grid axis: corrupt exactly k of the budgeted f=8
+            # nodes (the upcoming collectors — worst-case placement).
+            grid={"adversary_actual": (0, 2, 4, 6, 8)},
+            fixed={"n": 25, "f": 8},
+            inputs="ones",
+            seeds=range(3),
+        ),
+        # The worst-case baselines at the same sizes and fault dials:
+        # quadratic BA's words do not adapt to f*.
+        ScenarioSpec(
+            name="quadratic",
+            protocol="quadratic",
+            adversary="actual-faults",
+            grid={"adversary_actual": (0, 2, 4, 6, 8)},
+            fixed={"n": 25, "f": 8},
+            inputs="ones",
+            seeds=range(3),
+        ),
+        ScenarioSpec(
+            name="leader-ba",
+            protocol="leader-ba",
+            adversary="actual-faults",
+            grid={"adversary_actual": (0, 2, 4, 6, 8)},
+            fixed={"n": 25, "f": 8},
+            inputs="ones",
+            seeds=range(3),
+        ),
+        # The lower-bound line: the Dolev-Reischuk counting attack at
+        # the same (n, f), whose reported message census is the Ω(f²)
+        # floor the adaptive curve dips under at small f*.
+        ScenarioSpec(
+            name="dolev-reischuk-bound",
+            protocol="naive-broadcast",
+            executor="dolev-reischuk",
+            grid={},
+            fixed={"n": 25, "f": 8, "sender_input": 0,
+                   "total_rounds": 8},
+            seeds=(0,),
+        ),
+    ),
+)
+
 SMOKE = SweepSpec(
     name="smoke",
     description="Seconds-scale adversary grid for CI and tests.",
@@ -395,7 +457,7 @@ SWEEPS: Dict[str, SweepSpec] = {
     for sweep in (COMM_VS_N, ADVERSARY_GRID, RESILIENCE_FRONTIER,
                   LATENCY_STRESS, PARTITION_HEAL, EARLY_STOP_VS_DELTA,
                   LEADER_VS_DELTA, LEADER_VS_QUADRATIC,
-                  TOPOLOGY_GRID, SMOKE)
+                  WORDS_VS_ACTUAL_F, TOPOLOGY_GRID, SMOKE)
 }
 
 #: Canonical presentation order (registration order above): the results

@@ -40,8 +40,16 @@ The deployed leader-based family (``docs/PROTOCOLS.md``):
   under partial synchrony: round-robin leaders, n−f prevote-QCs, a
   locked-value/valid-value view-change path, and a multi-height chain
   workload (``leader-chain``) with locks carried across heights.
+
+The adaptive family (``docs/PROTOCOLS.md``):
+
+- :mod:`repro.protocols.adaptive_ba` — communication scales with the
+  *actual* fault count: a silent-when-honest fast path decides in
+  O(n) words when f* = 0, and each observed fault buys at most one
+  linear-cost amplification epoch — O((f* + 1) · n) words total.
 """
 
+from repro.protocols.adaptive_ba import build_adaptive_ba
 from repro.protocols.base import ProtocolInstance
 from repro.protocols.early_stopping import (
     build_phase_king_early_stop,
@@ -62,6 +70,7 @@ from repro.protocols.verification import VerificationCache
 __all__ = [
     "ProtocolInstance",
     "VerificationCache",
+    "build_adaptive_ba",
     "build_leader_ba",
     "build_leader_chain",
     "build_quadratic_ba",

@@ -148,17 +148,22 @@ class TestStoreRoundTrip:
         assert record["row"] == result.row()
         assert record["key"]["salt"] == STORE_SALT
 
-    def test_pre_bump_salt_records_read_as_misses(self, tmp_path):
-        """Records written before the v2 → v3 salt bump (the leader
-        family added `mean_views_executed` / `mean_view_changes` to
-        view-based artifact rows) must read as plain cache misses under
-        the current salt — recomputed on the next run, never replayed
-        into the new row shape and never a corruption error."""
-        assert STORE_SALT == "ba-repro-store-v3"
-        pre_bump = ExperimentStore(tmp_path, salt="ba-repro-store-v2")
+    @pytest.mark.parametrize("old_salt", ["ba-repro-store-v2",
+                                          "ba-repro-store-v3"])
+    def test_pre_bump_salt_records_read_as_misses(self, tmp_path,
+                                                  old_salt):
+        """Records written before a salt bump (v2 → v3: the leader
+        family added `mean_views_executed` / `mean_view_changes`;
+        v3 → v4: the adaptive family added `mean_words` /
+        `mean_actual_faults` / `mean_escalations`) must read as plain
+        cache misses under the current salt — recomputed on the next
+        run, never replayed into the new row shape and never a
+        corruption error."""
+        assert STORE_SALT == "ba-repro-store-v4"
+        pre_bump = ExperimentStore(tmp_path, salt=old_salt)
         run_sweep(tiny_sweep(sizes=(24,), seeds=(0,)), store=pre_bump)
         cell = tiny_sweep(sizes=(24,), seeds=(0,)).scenarios[0].cells()[0]
-        # The v2 store sees its own record...
+        # The pre-bump store sees its own record...
         assert pre_bump.load_record(pre_bump.fingerprint(cell)) is not None
         # ...but the same store directory opened under the current salt
         # addresses the same cell at a different fingerprint: a miss.
